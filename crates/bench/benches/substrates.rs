@@ -1,0 +1,147 @@
+//! Criterion microbenches for the substrates (B4–B6): lock manager,
+//! WAL append/replay, simulator event pump, election round.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbc_election::{Elector, Input as ElInput};
+use qbc_locks::{LockManager, LockMode};
+use qbc_simnet::{
+    sites, Ctx, DelayModel, Duration, Label, Process, Sim, SimConfig, SiteId, TimerId,
+};
+use qbc_storage::Wal;
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("locks/acquire_release_1k", |b| {
+        b.iter(|| {
+            let mut lm: LockManager<u32, u32> = LockManager::new();
+            for i in 0..1_000u32 {
+                lm.acquire(i % 16, i % 64, LockMode::Exclusive);
+            }
+            for t in 0..16u32 {
+                black_box(lm.release_all(&t));
+            }
+        })
+    });
+    c.bench_function("locks/contended_queue", |b| {
+        b.iter(|| {
+            let mut lm: LockManager<u32, u32> = LockManager::new();
+            for t in 0..64u32 {
+                lm.acquire(t, 0, LockMode::Exclusive);
+            }
+            for t in 0..64u32 {
+                black_box(lm.release_all(&t));
+            }
+        })
+    });
+    c.bench_function("locks/wait_for_cycles", |b| {
+        let mut lm: LockManager<u32, u32> = LockManager::new();
+        for i in 0..32u32 {
+            lm.acquire(i, i, LockMode::Exclusive);
+        }
+        for i in 0..32u32 {
+            lm.acquire(i, (i + 1) % 32, LockMode::Exclusive);
+        }
+        b.iter(|| black_box(qbc_locks::detect_cycles(&lm.wait_for_edges())))
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("wal/append_1k", |b| {
+        b.iter(|| {
+            let mut wal: Wal<u64> = Wal::new();
+            for i in 0..1_000u64 {
+                wal.append(i);
+            }
+            black_box(wal.len())
+        })
+    });
+    c.bench_function("wal/replay_10k", |b| {
+        let mut wal: Wal<u64> = Wal::new();
+        for i in 0..10_000u64 {
+            wal.append(i);
+        }
+        b.iter(|| black_box(wal.replay().map(|(_, r)| *r).sum::<u64>()))
+    });
+}
+
+#[derive(Clone, Debug)]
+struct Tick;
+impl Label for Tick {
+    fn label(&self) -> &'static str {
+        "TICK"
+    }
+}
+
+struct Pinger {
+    n: u32,
+    left: u32,
+}
+
+impl Process for Pinger {
+    type Msg = Tick;
+    type Timer = ();
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Tick, ()>) {
+        if ctx.id() == SiteId(0) {
+            ctx.send(SiteId(1 % self.n), Tick);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Tick, ()>, _f: SiteId, _m: Tick) {
+        if self.left > 0 {
+            self.left -= 1;
+            let next = SiteId((ctx.id().0 + 1) % self.n);
+            ctx.send(next, Tick);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Tick, ()>, _id: TimerId, _t: ()) {}
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    c.bench_function("simnet/pump_10k_events", |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                seed: 1,
+                delay: DelayModel::uniform(Duration(1), Duration(10)),
+                record_trace: false,
+            };
+            let mut sim = Sim::new(
+                cfg,
+                (0..8u32).map(|i| (SiteId(i), Pinger { n: 8, left: 10_000 / 8 })),
+            );
+            black_box(sim.run_to_quiescence(20_000))
+        })
+    });
+}
+
+fn bench_election(c: &mut Criterion) {
+    c.bench_function("election/lone_victory", |b| {
+        b.iter(|| {
+            let mut e = Elector::new(SiteId(31), sites(32));
+            black_box(e.step(ElInput::Start))
+        })
+    });
+    c.bench_function("election/bully_cascade_32", |b| {
+        b.iter(|| {
+            // Drive a full cascade by hand: lowest starts, everyone
+            // higher answers and runs its own election.
+            let mut electors: Vec<Elector> =
+                (0..32u32).map(|i| Elector::new(SiteId(i), sites(32))).collect();
+            let mut outputs = electors[0].step(ElInput::Start);
+            let mut hops = 0;
+            while let Some(qbc_election::Action::Send { to, msg }) = outputs.pop() {
+                hops += 1;
+                if hops > 4_096 {
+                    break;
+                }
+                let from = SiteId(0);
+                let more = electors[to.0 as usize].step(ElInput::Msg {
+                    from,
+                    msg,
+                });
+                outputs.extend(more);
+            }
+            black_box(hops)
+        })
+    });
+}
+
+criterion_group!(benches, bench_locks, bench_wal, bench_simnet, bench_election);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E1 — Example 1 / Fig. 3: Skeen's quorum protocol `[16]` blocks every
+//! partition, making x and y inaccessible everywhere.
+
+use qbc_core::{ProtocolKind, TxnId};
+use qbc_harness::paper::{example_catalog, fig3_scenario, ITEM_X, ITEM_Y, TR};
+use qbc_harness::table::Table;
+
+fn main() {
+    println!("E1 — Example 1 (Fig. 3): Skeen [16], Vc=5, Va=4, 8 unit-vote sites");
+    println!("TR updates x (copies s1–s4) and y (copies s5–s8), r=2, w=3.");
+    println!("Coordinator s1 crashes mid-prepare; partition G1/G2/G3.\n");
+
+    let out = fig3_scenario(ProtocolKind::SkeenQuorum, 1).run();
+    let v = out.verdict(TxnId(TR));
+
+    let mut t = Table::new(&["partition", "members", "TR outcome"]);
+    for (i, comp) in out.live_components().iter().enumerate() {
+        let members: Vec<String> = comp.iter().map(|s| s.to_string()).collect();
+        let outcome = if comp.iter().any(|s| v.committed.contains(s)) {
+            "COMMITTED"
+        } else if comp.iter().any(|s| v.aborted.contains(s)) {
+            "ABORTED"
+        } else {
+            "BLOCKED"
+        };
+        t.row(&[&format!("G{}", i + 1), &members.join(","), &outcome]);
+    }
+    println!("{t}");
+
+    let report = out.availability(&example_catalog());
+    println!("Accessibility after termination (paper: x,y inaccessible everywhere):");
+    println!("{report}");
+    let x_anywhere = report.readable_somewhere(ITEM_X) || report.writable_somewhere(ITEM_X);
+    let y_anywhere = report.readable_somewhere(ITEM_Y) || report.writable_somewhere(ITEM_Y);
+    println!(
+        "x accessible anywhere: {x_anywhere}   y accessible anywhere: {y_anywhere}"
+    );
+    println!(
+        "\npaper expectation: TR blocked in all partitions, zero accessibility -> {}",
+        if v.committed.is_empty() && v.aborted.is_empty() && !x_anywhere && !y_anywhere {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,40 @@
+//! E2 — Example 2: the same Fig. 3 failure under 3PC's site-failure-only
+//! termination protocol terminates TR *inconsistently*: G2 (which holds
+//! the PC witness s5) commits while G1 and G3 abort.
+
+use qbc_core::{ProtocolKind, TxnId};
+use qbc_harness::paper::{fig3_scenario, TR};
+use qbc_harness::table::Table;
+
+fn main() {
+    println!("E2 — Example 2: 3PC + its termination protocol under the Fig. 3 failure");
+    println!("(the 3PC termination rule: any PC or C in the partition => commit; else abort)\n");
+
+    let out = fig3_scenario(ProtocolKind::ThreePhase, 1).run();
+    let v = out.verdict(TxnId(TR));
+
+    let mut t = Table::new(&["site", "decision"]);
+    for (site, node) in out.sim.nodes() {
+        let d = node
+            .decision(TxnId(TR))
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
+        t.row(&[&site, &d]);
+    }
+    println!("{t}");
+    println!(
+        "committed at {:?}, aborted at {:?}",
+        v.committed, v.aborted
+    );
+    println!(
+        "\npaper expectation: G2 = {{s4,s5}} commits, G1/G3 abort — INCONSISTENT -> {}",
+        if !v.consistent
+            && v.committed.contains(&qbc_simnet::SiteId(4))
+            && v.committed.contains(&qbc_simnet::SiteId(5))
+        {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

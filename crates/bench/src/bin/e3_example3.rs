@@ -1,0 +1,40 @@
+//! E3 — Example 3 / Fig. 7: two termination coordinators race in one
+//! healed partition under adversarial message loss. A participant that
+//! answers prepares across the PC/PA wall (the "faulty" variant the
+//! paper warns against) produces an inconsistent termination; the
+//! correct mutual-ignore rule keeps the run safe.
+
+use qbc_core::{FaultyMode, TxnId};
+use qbc_harness::paper::{fig7_scenario, TR};
+use qbc_harness::table::Table;
+
+fn main() {
+    println!("E3 — Example 3 (Fig. 7): the PC/PA mutual-ignore rule");
+    println!("TR at s1 over x,y with copies at s2–s5 (r=2, w=3); s2↔s3 and s2↔s5 lost;\ncoordinator crash + partition {{s1,s2}}|{{s3,s4,s5}}, heal mid-election.\n");
+
+    let mut t = Table::new(&["variant", "committed", "aborted", "consistent"]);
+    for (label, mode) in [
+        ("correct (Fig. 6 rule)", FaultyMode::Correct),
+        ("faulty (answers across wall)", FaultyMode::AnswerAcrossWall),
+    ] {
+        let out = fig7_scenario(mode, 1).run();
+        let v = out.verdict(TxnId(TR));
+        t.row(&[
+            &label,
+            &format!("{:?}", v.committed),
+            &format!("{:?}", v.aborted),
+            &v.consistent,
+        ]);
+    }
+    println!("{t}");
+    let correct = fig7_scenario(FaultyMode::Correct, 1).run();
+    let faulty = fig7_scenario(FaultyMode::AnswerAcrossWall, 1).run();
+    println!(
+        "paper expectation: faulty variant inconsistent, correct variant safe -> {}",
+        if correct.verdict(TxnId(TR)).consistent && !faulty.verdict(TxnId(TR)).consistent {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,53 @@
+//! E4 — Example 4: the same Fig. 3 failure under QC1 + Termination
+//! Protocol 1. G1 and G3 both form *abort quorums* (per-item votes!),
+//! so TR terminates there and releases its locks: x becomes readable in
+//! G1 and y writable in G3, while G2 stays blocked.
+
+use qbc_core::{ProtocolKind, TxnId};
+use qbc_harness::paper::{example_catalog, fig3_scenario, ITEM_X, ITEM_Y, TR};
+use qbc_harness::table::Table;
+use qbc_simnet::SiteId;
+
+fn main() {
+    println!("E4 — Example 4: 3PC-shaped QC1 + TP1 under the Fig. 3 failure\n");
+
+    let out = fig3_scenario(ProtocolKind::QuorumCommit1, 1).run();
+    let v = out.verdict(TxnId(TR));
+
+    let mut t = Table::new(&["partition", "TR outcome", "x read", "x write", "y read", "y write"]);
+    let cat = example_catalog();
+    let report = out.availability(&cat);
+    for (i, comp) in out.live_components().iter().enumerate() {
+        let any = *comp.iter().next().expect("non-empty");
+        let outcome = if comp.iter().any(|s| v.aborted.contains(s)) {
+            "ABORTED"
+        } else if comp.iter().any(|s| v.committed.contains(s)) {
+            "COMMITTED"
+        } else {
+            "BLOCKED"
+        };
+        let ax = report.at_site(any, ITEM_X).unwrap();
+        let ay = report.at_site(any, ITEM_Y).unwrap();
+        t.row(&[
+            &format!("G{}", i + 1),
+            &outcome,
+            &ax.readable,
+            &ax.writable,
+            &ay.readable,
+            &ay.writable,
+        ]);
+    }
+    println!("{t}");
+
+    let g1_x = report.at_site(SiteId(2), ITEM_X).unwrap();
+    let g3_y = report.at_site(SiteId(6), ITEM_Y).unwrap();
+    let g2_blocked = v.undecided.contains(&SiteId(4)) && v.undecided.contains(&SiteId(5));
+    println!(
+        "paper expectation: G1/G3 abort; x readable in G1; y updatable in G3; G2 blocked -> {}",
+        if v.consistent && g1_x.readable && g3_y.writable && g2_blocked {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

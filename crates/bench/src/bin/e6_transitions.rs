@@ -1,0 +1,66 @@
+//! E6 — Fig. 6: state-transition conformance. Randomized fault-injected
+//! runs across all protocols; every participant state transition is
+//! audited against the Fig. 6 relation (notably: no PC↔PA).
+
+use qbc_core::{FaultyMode, LocalState, ProtocolKind, TxnId};
+use qbc_harness::audit::TransitionAudit;
+use qbc_harness::montecarlo::{random_failure_scenario, MonteCarloConfig};
+use qbc_harness::paper::{fig3_scenario, fig7_scenario, TR};
+use qbc_harness::table::Table;
+
+fn main() {
+    println!("E6 — Fig. 6: state-transition diagram conformance audit\n");
+
+    let mut audit = TransitionAudit::default();
+
+    // Randomized failure runs across every protocol.
+    let cfg = MonteCarloConfig {
+        heal_at: Some(1_500),
+        recover_at: Some(1_800),
+        run_until: 6_000,
+        ..Default::default()
+    };
+    for p in ProtocolKind::ALL {
+        for seed in 0..40u64 {
+            audit.absorb(&random_failure_scenario(p, &cfg, seed).run(), TxnId(1));
+        }
+    }
+    // Plus the deterministic paper scenarios and the correct Fig. 7 run.
+    for p in ProtocolKind::ALL {
+        audit.absorb(&fig3_scenario(p, 1).run(), TxnId(TR));
+    }
+    audit.absorb(&fig7_scenario(FaultyMode::Correct, 1).run(), TxnId(TR));
+
+    let mut t = Table::new(&["transition", "count", "legal per Fig. 6"]);
+    for ((from, to), n) in &audit.counts {
+        t.row(&[
+            &format!("{from} -> {to}"),
+            n,
+            &LocalState::legal_transition(*from, *to),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "illegal transitions in correct-mode runs: {}",
+        audit.illegal.len()
+    );
+
+    // The faulty variant must, by contrast, cross the PC/PA wall.
+    let mut faulty = TransitionAudit::default();
+    faulty.absorb(
+        &fig7_scenario(FaultyMode::AnswerAcrossWall, 1).run(),
+        TxnId(TR),
+    );
+    println!(
+        "faulty variant crosses the PC/PA wall (expected true): {}",
+        faulty.crossed_the_wall()
+    );
+    println!(
+        "\npaper expectation: zero illegal transitions under the correct rule -> {}",
+        if audit.clean() && faulty.crossed_the_wall() {
+            "REPRODUCED"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,71 @@
+//! E8 — the paper's central availability claim, quantified: across
+//! random coordinator-crash + partition schedules, TP1/TP2 leave more
+//! `(partition, item)` pairs readable/writable and fewer runs blocked
+//! than Skeen's site-vote protocol; 3PC never blocks but violates
+//! atomicity; 2PC blocks the most.
+
+use qbc_core::ProtocolKind;
+use qbc_harness::montecarlo::{sweep, MonteCarloConfig};
+use qbc_harness::table::Table;
+
+fn main() {
+    println!("E8 — Monte-Carlo availability under coordinator crash + partition");
+    let runs = 300;
+
+    for components in [2usize, 3, 4] {
+        let cfg = MonteCarloConfig {
+            components,
+            ..Default::default()
+        };
+        println!(
+            "\n--- {runs} runs, 8 sites, 2 items × 4 copies (r=2, w=3), {components}-way partition ---"
+        );
+        let mut t = Table::new(&[
+            "protocol",
+            "blocked runs",
+            "terminated runs",
+            "violations",
+            "readable frac",
+            "writable frac",
+        ]);
+        for p in ProtocolKind::ALL {
+            let a = sweep(p, &cfg, runs);
+            t.row(&[
+                &p.name(),
+                &format!("{:.1}%", a.blocked_rate * 100.0),
+                &format!("{:.1}%", a.decided_rate * 100.0),
+                &format!("{:.1}%", a.violation_rate * 100.0),
+                &format!("{:.3}", a.mean_readable),
+                &format!("{:.3}", a.mean_writable),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    let cfg = MonteCarloConfig {
+        components: 3,
+        ..Default::default()
+    };
+    let skeen = sweep(ProtocolKind::SkeenQuorum, &cfg, runs);
+    let tp1 = sweep(ProtocolKind::QuorumCommit1, &cfg, runs);
+    let tp2 = sweep(ProtocolKind::QuorumCommit2, &cfg, runs);
+    let p3 = sweep(ProtocolKind::ThreePhase, &cfg, runs);
+    println!(
+        "\npaper expectations: TP1/TP2 ≥ Skeen on availability ({:.3}/{:.3} vs {:.3});",
+        tp1.mean_readable, tp2.mean_readable, skeen.mean_readable
+    );
+    println!(
+        "  correct protocols never violate (TP1 {:.1}%, TP2 {:.1}%, Skeen {:.1}%); 3PC violates under partitions ({:.1}%)",
+        tp1.violation_rate * 100.0,
+        tp2.violation_rate * 100.0,
+        skeen.violation_rate * 100.0,
+        p3.violation_rate * 100.0
+    );
+    let ok = tp1.mean_readable >= skeen.mean_readable
+        && tp2.mean_readable >= skeen.mean_readable
+        && tp1.violation_rate == 0.0
+        && tp2.violation_rate == 0.0
+        && skeen.violation_rate == 0.0
+        && p3.violation_rate > 0.0;
+    println!("-> {}", if ok { "REPRODUCED" } else { "MISMATCH" });
+}

@@ -1,0 +1,487 @@
+//! The normal-case commit coordinator (Figs. 1, 2 and 9).
+//!
+//! One engine serves all five protocol variants; they differ only in the
+//! *commit point*:
+//!
+//! * **2PC** — commit as soon as every participant votes yes (no prepare
+//!   round; blocking under coordinator failure).
+//! * **3PC** — prepare round, commit after *all* PC-ACKs (or after the
+//!   ack window expires: straggling participants are presumed crashed
+//!   and will be handled by recovery/termination).
+//! * **Skeen `[16]`** — prepare round, commit once PC-ACKs carry `Vc`
+//!   *site* votes.
+//! * **QC1** (Fig. 9) — commit once PC-ACKs carry `w(x)` copy votes for
+//!   **every** writeset item: from that instant no abort quorum can ever
+//!   form.
+//! * **QC2** — commit once PC-ACKs carry `r(x)` copy votes for **some**
+//!   writeset item: likewise kills all abort quorums, and is reached
+//!   sooner. This is why "commit protocol 2 runs faster than commit
+//!   protocol 1" (§3.2).
+
+use crate::actions::{Action, TimerKind};
+use crate::log::LogRecord;
+use crate::messages::Msg;
+use crate::types::{Decision, ProtocolKind, SiteVotes, TxnId, TxnSpec};
+use qbc_simnet::SiteId;
+use qbc_votes::{Catalog, Version};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coordinator progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordPhase {
+    /// Phase 1: waiting for votes.
+    SolicitingVotes,
+    /// Phase 2 (not in 2PC): waiting for PC-ACKs.
+    Preparing,
+    /// Decision reached and commanded.
+    Decided(Decision),
+    /// Gave up (quorum protocols): handed off to the termination path.
+    HandedOff,
+}
+
+/// The normal-case coordinator engine for one transaction.
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    spec: TxnSpec,
+    /// Site-vote parameters (Skeen `[16]` only).
+    site_votes: Option<SiteVotes>,
+    phase: CoordPhase,
+    votes: BTreeMap<SiteId, (bool, Version)>,
+    pc_acks: BTreeSet<SiteId>,
+    commit_version: Option<Version>,
+}
+
+impl Coordinator {
+    /// Creates the engine. `site_votes` is required for
+    /// [`ProtocolKind::SkeenQuorum`] and ignored otherwise.
+    pub fn new(spec: TxnSpec, site_votes: Option<SiteVotes>) -> Self {
+        debug_assert!(
+            spec.protocol != ProtocolKind::SkeenQuorum || site_votes.is_some(),
+            "Skeen quorum commit needs site votes"
+        );
+        Coordinator {
+            spec,
+            site_votes,
+            phase: CoordPhase::SolicitingVotes,
+            votes: BTreeMap::new(),
+            pc_acks: BTreeSet::new(),
+            commit_version: None,
+        }
+    }
+
+    /// The transaction.
+    pub fn txn(&self) -> TxnId {
+        self.spec.id
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> CoordPhase {
+        self.phase
+    }
+
+    /// The commit version, once all votes arrived.
+    pub fn commit_version(&self) -> Option<Version> {
+        self.commit_version
+    }
+
+    /// Kicks off phase 1: durably record coordinatorship, distribute the
+    /// spec (update values included) and wait `2T` for votes.
+    pub fn start(&mut self) -> Vec<Action> {
+        let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
+        vec![
+            Action::Log(LogRecord::CoordinatorStart {
+                spec: self.spec.clone(),
+            }),
+            Action::Broadcast(
+                everyone,
+                Msg::VoteReq {
+                    spec: self.spec.clone(),
+                },
+            ),
+            Action::SetTimer(TimerKind::VoteCollection { txn: self.spec.id }),
+        ]
+    }
+
+    /// Handles a vote.
+    pub fn on_vote(
+        &mut self,
+        from: SiteId,
+        yes: bool,
+        max_version: Version,
+        catalog: &Catalog,
+    ) -> Vec<Action> {
+        match self.phase {
+            CoordPhase::SolicitingVotes => {}
+            // A late vote after the decision: help the laggard.
+            CoordPhase::Decided(d) => return vec![self.decision_reply(d)],
+            _ => return Vec::new(),
+        }
+        if !self.spec.participants.contains(&from) {
+            return Vec::new();
+        }
+        self.votes.insert(from, (yes, max_version));
+        if !yes {
+            // "The transaction can be committed iff every site votes yes."
+            return self.decide(Decision::Abort);
+        }
+        if self.votes.len() == self.spec.participants.len() {
+            // All yes: fix the commit version — one past the newest copy
+            // any participant holds (Gifford's currency rule).
+            let v = self
+                .votes
+                .values()
+                .map(|(_, v)| *v)
+                .max()
+                .unwrap_or(Version::INITIAL);
+            self.commit_version = Some(v.next());
+            match self.spec.protocol {
+                ProtocolKind::TwoPhase => self.decide(Decision::Commit),
+                _ => {
+                    self.phase = CoordPhase::Preparing;
+                    let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
+                    vec![
+                        Action::Broadcast(
+                            everyone,
+                            Msg::PrepareCommit {
+                                txn: self.spec.id,
+                                commit_version: self.commit_version.expect("just set"),
+                            },
+                        ),
+                        Action::SetTimer(TimerKind::AckCollection { txn: self.spec.id }),
+                    ]
+                }
+            }
+        } else {
+            let _ = catalog;
+            Vec::new()
+        }
+    }
+
+    fn decision_reply(&self, d: Decision) -> Action {
+        match d {
+            Decision::Commit => Action::Reply(Msg::Commit {
+                txn: self.spec.id,
+                commit_version: self.commit_version.expect("decided commit has version"),
+            }),
+            Decision::Abort => Action::Reply(Msg::Abort { txn: self.spec.id }),
+        }
+    }
+
+    /// Handles a PC-ACK; commits when the protocol's commit point is
+    /// reached.
+    pub fn on_pc_ack(&mut self, from: SiteId, catalog: &Catalog) -> Vec<Action> {
+        if self.phase != CoordPhase::Preparing {
+            return Vec::new();
+        }
+        self.pc_acks.insert(from);
+        if self.commit_point_reached(catalog) {
+            self.decide(Decision::Commit)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The protocol-specific commit point over the current ack set.
+    fn commit_point_reached(&self, catalog: &Catalog) -> bool {
+        match self.spec.protocol {
+            ProtocolKind::TwoPhase => false, // no prepare phase
+            ProtocolKind::ThreePhase => self.pc_acks.len() == self.spec.participants.len(),
+            ProtocolKind::SkeenQuorum => {
+                let sv = self.site_votes.as_ref().expect("validated in new()");
+                sv.votes_among(&self.pc_acks) >= sv.commit_quorum
+            }
+            // QC1: w(x) PC-ACK votes for every x — "receiving these
+            // PC-ACKs ensures that an abort quorum can never be formed".
+            ProtocolKind::QuorumCommit1 => self.spec.writeset.items().all(|x| {
+                catalog
+                    .item(x)
+                    .map(|i| i.votes_among(&self.pc_acks) >= i.write_quorum)
+                    .unwrap_or(false)
+            }),
+            // QC2: r(x) PC-ACK votes for some x.
+            ProtocolKind::QuorumCommit2 => self.spec.writeset.items().any(|x| {
+                catalog
+                    .item(x)
+                    .map(|i| i.votes_among(&self.pc_acks) >= i.read_quorum)
+                    .unwrap_or(false)
+            }),
+        }
+    }
+
+    /// Commits or aborts: force-log the decision, then command everyone.
+    fn decide(&mut self, decision: Decision) -> Vec<Action> {
+        self.phase = CoordPhase::Decided(decision);
+        let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
+        match decision {
+            Decision::Commit => {
+                let v = self.commit_version.expect("commit implies version");
+                vec![
+                    Action::Log(LogRecord::Decided {
+                        txn: self.spec.id,
+                        decision,
+                        commit_version: Some(v),
+                    }),
+                    Action::Broadcast(
+                        everyone,
+                        Msg::Commit {
+                            txn: self.spec.id,
+                            commit_version: v,
+                        },
+                    ),
+                ]
+            }
+            Decision::Abort => vec![
+                Action::Log(LogRecord::Decided {
+                    txn: self.spec.id,
+                    decision,
+                    commit_version: None,
+                }),
+                Action::Broadcast(everyone, Msg::Abort { txn: self.spec.id }),
+            ],
+        }
+    }
+
+    /// Vote-collection window expired.
+    pub fn on_vote_timer(&mut self) -> Vec<Action> {
+        if self.phase != CoordPhase::SolicitingVotes {
+            return Vec::new();
+        }
+        // Missing votes: presumed-abort.
+        self.decide(Decision::Abort)
+    }
+
+    /// Ack-collection window expired.
+    pub fn on_ack_timer(&mut self, catalog: &Catalog) -> Vec<Action> {
+        if self.phase != CoordPhase::Preparing {
+            return Vec::new();
+        }
+        match self.spec.protocol {
+            // 3PC proceeds: non-acking participants are presumed crashed;
+            // they will learn the outcome at recovery. (Under a
+            // *partition* this presumption is exactly what Example 2
+            // exploits — faithful to the original protocol.)
+            ProtocolKind::ThreePhase => self.decide(Decision::Commit),
+            // The quorum protocols may not commit below quorum: hand off
+            // to the termination protocol (the coordinator is also a
+            // participant and will take part).
+            ProtocolKind::SkeenQuorum
+            | ProtocolKind::QuorumCommit1
+            | ProtocolKind::QuorumCommit2 => {
+                if self.commit_point_reached(catalog) {
+                    self.decide(Decision::Commit)
+                } else {
+                    self.phase = CoordPhase::HandedOff;
+                    vec![Action::RequestTermination { txn: self.spec.id }]
+                }
+            }
+            ProtocolKind::TwoPhase => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WriteSet;
+    use qbc_votes::{CatalogBuilder, ItemId};
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .item(ItemId(0), "x")
+            .copies_at([SiteId(1), SiteId(2), SiteId(3), SiteId(4)])
+            .quorums(2, 3)
+            .item(ItemId(1), "y")
+            .copies_at([SiteId(5), SiteId(6), SiteId(7), SiteId(8)])
+            .quorums(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    fn spec(protocol: ProtocolKind) -> TxnSpec {
+        TxnSpec {
+            id: TxnId(9),
+            coordinator: SiteId(1),
+            writeset: WriteSet::new([(ItemId(0), 10), (ItemId(1), 20)]),
+            participants: (1..=8).map(SiteId).collect(),
+            protocol,
+        }
+    }
+
+    fn all_yes(c: &mut Coordinator, cat: &Catalog, upto: u32) -> Vec<Action> {
+        let mut last = Vec::new();
+        for s in 1..=upto {
+            last = c.on_vote(SiteId(s), true, Version(0), cat);
+        }
+        last
+    }
+
+    #[test]
+    fn two_pc_commits_on_last_yes_vote() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
+        let start = c.start();
+        assert!(matches!(
+            start[0],
+            Action::Log(LogRecord::CoordinatorStart { .. })
+        ));
+        assert!(matches!(start[1], Action::Broadcast(_, Msg::VoteReq { .. })));
+        let actions = all_yes(&mut c, &cat, 8);
+        // Decision logged before the command is sent.
+        assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Commit));
+        assert_eq!(c.commit_version(), Some(Version(1)));
+    }
+
+    #[test]
+    fn any_no_vote_aborts() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
+        c.start();
+        c.on_vote(SiteId(1), true, Version(0), &cat);
+        let actions = c.on_vote(SiteId(2), false, Version(0), &cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Abort { .. })));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
+    }
+
+    #[test]
+    fn commit_version_is_max_reported_plus_one() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
+        c.start();
+        for s in 1..=7u32 {
+            c.on_vote(SiteId(s), true, Version(s as u64), &cat);
+        }
+        c.on_vote(SiteId(8), true, Version(3), &cat);
+        assert_eq!(c.commit_version(), Some(Version(8)));
+    }
+
+    #[test]
+    fn three_pc_waits_for_all_acks() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
+        c.start();
+        let actions = all_yes(&mut c, &cat, 8);
+        assert!(matches!(
+            actions[0],
+            Action::Broadcast(_, Msg::PrepareCommit { .. })
+        ));
+        assert_eq!(c.phase(), CoordPhase::Preparing);
+        for s in 1..=7u32 {
+            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty(), "must wait for all");
+        }
+        let actions = c.on_pc_ack(SiteId(8), &cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn qc1_commits_at_write_quorum_of_every_item() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        // Acks from s1,s2,s3 (3 = w(x) votes of x, 0 of y): not yet.
+        for s in 1..=3u32 {
+            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty());
+        }
+        // s5,s6: y at 2 < 3.
+        assert!(c.on_pc_ack(SiteId(5), &cat).is_empty());
+        assert!(c.on_pc_ack(SiteId(6), &cat).is_empty());
+        // s7 completes w(y)=3 → commit with 5-of-8 acks outstanding... 6 acks.
+        let actions = c.on_pc_ack(SiteId(7), &cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn qc2_commits_at_read_quorum_of_some_item() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit2), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        assert!(c.on_pc_ack(SiteId(1), &cat).is_empty(), "1 vote of x < r=2");
+        // Second x-copy ack reaches r(x)=2 → commit after only 2 acks:
+        // QC2's speed advantage over QC1.
+        let actions = c.on_pc_ack(SiteId(2), &cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn skeen_commits_at_vc_site_votes() {
+        let cat = catalog();
+        let sv = SiteVotes::uniform((1..=8).map(SiteId), 5, 4);
+        let mut c = Coordinator::new(spec(ProtocolKind::SkeenQuorum), Some(sv));
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        for s in 1..=4u32 {
+            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty());
+        }
+        let actions = c.on_pc_ack(SiteId(5), &cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn vote_timeout_aborts() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        all_yes(&mut c, &cat, 4); // half the votes
+        let actions = c.on_vote_timer();
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Abort { .. })));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
+    }
+
+    #[test]
+    fn three_pc_ack_timeout_commits_anyway() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        c.on_pc_ack(SiteId(1), &cat);
+        let actions = c.on_ack_timer(&cat);
+        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn qc1_ack_timeout_below_quorum_hands_off() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        c.on_pc_ack(SiteId(1), &cat);
+        let actions = c.on_ack_timer(&cat);
+        assert!(matches!(actions[0], Action::RequestTermination { .. }));
+        assert_eq!(c.phase(), CoordPhase::HandedOff);
+    }
+
+    #[test]
+    fn late_vote_after_decision_gets_the_command() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        let actions = c.on_vote(SiteId(3), true, Version(0), &cat);
+        assert!(matches!(actions[0], Action::Reply(Msg::Commit { .. })));
+    }
+
+    #[test]
+    fn votes_from_non_participants_ignored() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
+        c.start();
+        assert!(c.on_vote(SiteId(99), true, Version(0), &cat).is_empty());
+        assert_eq!(c.phase(), CoordPhase::SolicitingVotes);
+    }
+
+    #[test]
+    fn stale_ack_timer_after_decision_is_noop() {
+        let cat = catalog();
+        let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        for s in 1..=8u32 {
+            c.on_pc_ack(SiteId(s), &cat);
+        }
+        assert!(c.on_ack_timer(&cat).is_empty());
+        assert!(c.on_vote_timer().is_empty());
+    }
+}

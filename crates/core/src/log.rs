@@ -1,0 +1,224 @@
+//! Log records forced to stable storage at each protocol transition.
+//!
+//! The rule: a participant logs *before* acknowledging. What the log
+//! contains after a crash is exactly what the participant may claim to
+//! remember; recovery replays these records to rebuild the local state
+//! (see [`recover_state`]).
+
+use crate::states::LocalState;
+use crate::types::{Decision, TxnId, TxnSpec};
+use qbc_votes::Version;
+use serde::{Deserialize, Serialize};
+
+/// A force-written log record of the commit/termination protocols.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Written by the coordinator before soliciting votes: makes the
+    /// spec (and this site's coordinatorship) durable, so a recovering
+    /// coordinator can apply presumed-abort (2PC) or re-announce a
+    /// logged decision — even when it holds no copies itself.
+    CoordinatorStart {
+        /// The transaction spec being coordinated.
+        spec: TxnSpec,
+    },
+    /// Voted yes: the spec (with update values) is durable; state W.
+    Voted {
+        /// The transaction spec as received in `VOTE-REQ`.
+        spec: TxnSpec,
+    },
+    /// Voted no / aborted before voting; state A.
+    VotedNo {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Entered PC (acknowledged a PREPARE-TO-COMMIT).
+    PreCommit {
+        /// Transaction.
+        txn: TxnId,
+        /// The commit version learned from the prepare.
+        commit_version: Version,
+    },
+    /// Entered PA (acknowledged a PREPARE-TO-ABORT).
+    PreAbort {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Terminal decision (commit or abort).
+    Decided {
+        /// Transaction.
+        txn: TxnId,
+        /// Outcome.
+        decision: Decision,
+        /// Version installed when committing.
+        commit_version: Option<Version>,
+    },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            LogRecord::CoordinatorStart { spec } | LogRecord::Voted { spec } => spec.id,
+            LogRecord::VotedNo { txn }
+            | LogRecord::PreCommit { txn, .. }
+            | LogRecord::PreAbort { txn }
+            | LogRecord::Decided { txn, .. } => *txn,
+        }
+    }
+}
+
+/// The durable state of one transaction reconstructed from the log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveredTxn {
+    /// The spec, if the site voted yes (q/vote-no sites have none).
+    pub spec: Option<TxnSpec>,
+    /// Local state as of the last logged record.
+    pub state: LocalState,
+    /// Commit version learned (from PC or commit records).
+    pub commit_version: Option<Version>,
+}
+
+/// Replays a site's log records (in order) into per-transaction state.
+///
+/// Used by a recovering site to rebuild its participant engines: a
+/// transaction recovered in a non-terminal state re-enters the
+/// termination path.
+pub fn recover_state<'a>(
+    records: impl IntoIterator<Item = &'a LogRecord>,
+) -> std::collections::BTreeMap<TxnId, RecoveredTxn> {
+    let mut out: std::collections::BTreeMap<TxnId, RecoveredTxn> =
+        std::collections::BTreeMap::new();
+    for rec in records {
+        let entry = out.entry(rec.txn()).or_insert(RecoveredTxn {
+            spec: None,
+            state: LocalState::Initial,
+            commit_version: None,
+        });
+        // Terminal decisions are irrevocable: later records (which should
+        // not exist) never downgrade them.
+        if entry.state.is_terminal() {
+            continue;
+        }
+        match rec {
+            LogRecord::CoordinatorStart { spec } => {
+                // Establishes the spec; the local *participant* state is
+                // untouched (a pure coordinator never votes).
+                if entry.spec.is_none() {
+                    entry.spec = Some(spec.clone());
+                }
+            }
+            LogRecord::Voted { spec } => {
+                entry.spec = Some(spec.clone());
+                entry.state = LocalState::Wait;
+            }
+            LogRecord::VotedNo { .. } => {
+                entry.state = LocalState::Aborted;
+            }
+            LogRecord::PreCommit { commit_version, .. } => {
+                entry.state = LocalState::PreCommit;
+                entry.commit_version = Some(*commit_version);
+            }
+            LogRecord::PreAbort { .. } => {
+                entry.state = LocalState::PreAbort;
+            }
+            LogRecord::Decided {
+                decision,
+                commit_version,
+                ..
+            } => {
+                entry.state = match decision {
+                    Decision::Commit => LocalState::Committed,
+                    Decision::Abort => LocalState::Aborted,
+                };
+                if commit_version.is_some() {
+                    entry.commit_version = *commit_version;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ProtocolKind, WriteSet};
+    use qbc_simnet::SiteId;
+
+    fn spec(id: u64) -> TxnSpec {
+        TxnSpec {
+            id: TxnId(id),
+            coordinator: SiteId(1),
+            writeset: WriteSet::default(),
+            participants: Default::default(),
+            protocol: ProtocolKind::ThreePhase,
+        }
+    }
+
+    #[test]
+    fn empty_log_recovers_nothing() {
+        let state = recover_state([]);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn voted_then_pc_recovers_as_pc() {
+        let records = vec![
+            LogRecord::Voted { spec: spec(1) },
+            LogRecord::PreCommit {
+                txn: TxnId(1),
+                commit_version: Version(4),
+            },
+        ];
+        let state = recover_state(&records);
+        let t = &state[&TxnId(1)];
+        assert_eq!(t.state, LocalState::PreCommit);
+        assert_eq!(t.commit_version, Some(Version(4)));
+        assert!(t.spec.is_some());
+    }
+
+    #[test]
+    fn decision_is_final_even_with_trailing_garbage() {
+        let records = vec![
+            LogRecord::Voted { spec: spec(1) },
+            LogRecord::Decided {
+                txn: TxnId(1),
+                decision: Decision::Abort,
+                commit_version: None,
+            },
+            // A corrupt/duplicated trailing record must not resurrect it.
+            LogRecord::PreCommit {
+                txn: TxnId(1),
+                commit_version: Version(9),
+            },
+        ];
+        let state = recover_state(&records);
+        assert_eq!(state[&TxnId(1)].state, LocalState::Aborted);
+    }
+
+    #[test]
+    fn multiple_transactions_recover_independently() {
+        let records = vec![
+            LogRecord::Voted { spec: spec(1) },
+            LogRecord::Voted { spec: spec(2) },
+            LogRecord::PreAbort { txn: TxnId(2) },
+            LogRecord::Decided {
+                txn: TxnId(1),
+                decision: Decision::Commit,
+                commit_version: Some(Version(2)),
+            },
+        ];
+        let state = recover_state(&records);
+        assert_eq!(state[&TxnId(1)].state, LocalState::Committed);
+        assert_eq!(state[&TxnId(1)].commit_version, Some(Version(2)));
+        assert_eq!(state[&TxnId(2)].state, LocalState::PreAbort);
+    }
+
+    #[test]
+    fn vote_no_recovers_aborted_without_spec() {
+        let records = vec![LogRecord::VotedNo { txn: TxnId(3) }];
+        let state = recover_state(&records);
+        assert_eq!(state[&TxnId(3)].state, LocalState::Aborted);
+        assert!(state[&TxnId(3)].spec.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! The protocol message vocabulary (Figs. 1, 2, 5, 8, 9).
+
+use crate::states::LocalState;
+use crate::types::{Decision, TxnId, TxnSpec};
+use qbc_simnet::Label;
+use qbc_votes::Version;
+use serde::{Deserialize, Serialize};
+
+/// All messages exchanged by the commit and termination protocols.
+///
+/// One vocabulary serves every protocol variant: 2PC never sends
+/// `PrepareCommit`; only the termination protocols send `PrepareAbort`
+/// and `StateReq`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Coordinator → participants: the transaction spec (update values
+    /// included); "vote on this transaction".
+    VoteReq {
+        /// Full transaction description, logged by the participant.
+        spec: TxnSpec,
+    },
+    /// Participant → coordinator: yes/no vote. A yes carries the local
+    /// version of the highest-versioned writeset copy at the voter, from
+    /// which the coordinator derives the commit version.
+    Vote {
+        /// Transaction voted on.
+        txn: TxnId,
+        /// True = yes (enter W), false = no (abort).
+        yes: bool,
+        /// Highest local version among the voter's writeset copies.
+        max_version: Version,
+    },
+    /// Coordinator → participants: enter PC (3PC/QC/termination).
+    PrepareCommit {
+        /// Transaction.
+        txn: TxnId,
+        /// The version every copy will carry after commit.
+        commit_version: Version,
+    },
+    /// Participant → sender of `PrepareCommit`: now in PC.
+    PcAck {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Termination coordinator → participants: enter PA.
+    PrepareAbort {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Participant → sender of `PrepareAbort`: now in PA.
+    PaAck {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Commit command (normal case or termination).
+    Commit {
+        /// Transaction.
+        txn: TxnId,
+        /// Version installed on every written copy.
+        commit_version: Version,
+    },
+    /// Abort command (normal case or termination).
+    Abort {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Termination coordinator → participants: report your local state
+    /// (phase 1 of Figs. 5/8). Carries the spec so that participants
+    /// that never saw `VoteReq` can still answer (they report `q`).
+    StateReq {
+        /// Round of the termination attempt (guards stale replies).
+        round: u64,
+        /// Transaction description.
+        spec: TxnSpec,
+    },
+    /// Participant → termination coordinator: local state report.
+    StateRep {
+        /// Transaction.
+        txn: TxnId,
+        /// Round this reply answers.
+        round: u64,
+        /// The participant's current local state.
+        state: LocalState,
+        /// When in PC: the commit version it learned, so a termination
+        /// coordinator in W can issue a correct `Commit`.
+        pc_version: Option<Version>,
+    },
+    /// A terminated participant re-announcing the outcome to anyone who
+    /// still asks (engineering addition; see DESIGN.md §2 decision 4).
+    Decided {
+        /// Transaction.
+        txn: TxnId,
+        /// The irrevocable outcome.
+        decision: Decision,
+        /// Commit version when the decision is Commit.
+        commit_version: Option<Version>,
+    },
+}
+
+impl Msg {
+    /// The transaction this message is about.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            Msg::VoteReq { spec } => spec.id,
+            Msg::StateReq { spec, .. } => spec.id,
+            Msg::Vote { txn, .. }
+            | Msg::PrepareCommit { txn, .. }
+            | Msg::PcAck { txn }
+            | Msg::PrepareAbort { txn }
+            | Msg::PaAck { txn }
+            | Msg::Commit { txn, .. }
+            | Msg::Abort { txn }
+            | Msg::StateRep { txn, .. }
+            | Msg::Decided { txn, .. } => *txn,
+        }
+    }
+}
+
+impl Label for Msg {
+    fn label(&self) -> &'static str {
+        match self {
+            Msg::VoteReq { .. } => "VOTE-REQ",
+            Msg::Vote { yes: true, .. } => "VOTE-YES",
+            Msg::Vote { yes: false, .. } => "VOTE-NO",
+            Msg::PrepareCommit { .. } => "PREPARE-TO-COMMIT",
+            Msg::PcAck { .. } => "PC-ACK",
+            Msg::PrepareAbort { .. } => "PREPARE-TO-ABORT",
+            Msg::PaAck { .. } => "PA-ACK",
+            Msg::Commit { .. } => "COMMIT",
+            Msg::Abort { .. } => "ABORT",
+            Msg::StateReq { .. } => "STATE-REQ",
+            Msg::StateRep { .. } => "STATE-REP",
+            Msg::Decided { .. } => "DECIDED",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ProtocolKind, WriteSet};
+    use qbc_simnet::SiteId;
+
+    fn spec() -> TxnSpec {
+        TxnSpec {
+            id: TxnId(7),
+            coordinator: SiteId(1),
+            writeset: WriteSet::default(),
+            participants: Default::default(),
+            protocol: ProtocolKind::QuorumCommit1,
+        }
+    }
+
+    #[test]
+    fn txn_accessor_covers_all_variants() {
+        let msgs = [
+            Msg::VoteReq { spec: spec() },
+            Msg::Vote {
+                txn: TxnId(7),
+                yes: true,
+                max_version: Version(0),
+            },
+            Msg::PrepareCommit {
+                txn: TxnId(7),
+                commit_version: Version(1),
+            },
+            Msg::PcAck { txn: TxnId(7) },
+            Msg::PrepareAbort { txn: TxnId(7) },
+            Msg::PaAck { txn: TxnId(7) },
+            Msg::Commit {
+                txn: TxnId(7),
+                commit_version: Version(1),
+            },
+            Msg::Abort { txn: TxnId(7) },
+            Msg::StateReq {
+                round: 1,
+                spec: spec(),
+            },
+            Msg::StateRep {
+                txn: TxnId(7),
+                round: 1,
+                state: LocalState::Wait,
+                pc_version: None,
+            },
+            Msg::Decided {
+                txn: TxnId(7),
+                decision: Decision::Commit,
+                commit_version: Some(Version(1)),
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(m.txn(), TxnId(7), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn labels_distinguish_vote_outcomes() {
+        let yes = Msg::Vote {
+            txn: TxnId(1),
+            yes: true,
+            max_version: Version(0),
+        };
+        let no = Msg::Vote {
+            txn: TxnId(1),
+            yes: false,
+            max_version: Version(0),
+        };
+        assert_eq!(yes.label(), "VOTE-YES");
+        assert_eq!(no.label(), "VOTE-NO");
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        assert_eq!(
+            Msg::PrepareCommit {
+                txn: TxnId(0),
+                commit_version: Version(0)
+            }
+            .label(),
+            "PREPARE-TO-COMMIT"
+        );
+        assert_eq!(Msg::PaAck { txn: TxnId(0) }.label(), "PA-ACK");
+    }
+}

@@ -1,0 +1,205 @@
+//! Partition states and concurrency sets (Fig. 4, Section 2).
+//!
+//! When a 3PC commitment procedure is interrupted by failures, the
+//! *partition state* of a transaction in a partition is the set of local
+//! states of its active participants there. Fig. 4 lists the mutually
+//! exclusive, collectively exhaustive cases PS1–PS6 and the paper argues
+//! from their *concurrency sets* (which partition states can coexist)
+//! that no termination protocol can terminate every partition holding a
+//! per-item quorum — the impossibility result motivating TP1/TP2.
+//!
+//! This module classifies observed partitions and records the paper's
+//! claimed concurrency relations; experiment E5 re-derives the relation
+//! by exhaustive enumeration of interrupted runs and checks it against
+//! these claims.
+
+use crate::states::LocalState;
+use std::fmt;
+
+/// The partition states of Fig. 4 (3PC local-state vocabulary; PA does
+/// not occur because the termination protocol has not yet run).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Ps {
+    /// PS1: at least one participant in `q`, none in `A`.
+    Ps1,
+    /// PS2: all participants in `W`.
+    Ps2,
+    /// PS3: at least one participant in `A`.
+    Ps3,
+    /// PS4: some participants in `PC`, some in `W`.
+    Ps4,
+    /// PS5: all participants in `PC`.
+    Ps5,
+    /// PS6: at least one participant in `C`.
+    Ps6,
+}
+
+impl Ps {
+    /// All partition states.
+    pub const ALL: [Ps; 6] = [Ps::Ps1, Ps::Ps2, Ps::Ps3, Ps::Ps4, Ps::Ps5, Ps::Ps6];
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            Ps::Ps1 => 1,
+            Ps::Ps2 => 2,
+            Ps::Ps3 => 3,
+            Ps::Ps4 => 4,
+            Ps::Ps5 => 5,
+            Ps::Ps6 => 6,
+        };
+        write!(f, "PS{n}")
+    }
+}
+
+/// Classifies the local states of a partition's active participants into
+/// Fig. 4's vocabulary.
+///
+/// Returns `None` when the input is empty, contains `PA` (beyond the
+/// Fig. 4 vocabulary), or contains both `A` and `C` (an atomicity
+/// violation, impossible in legal runs).
+pub fn classify(states: impl IntoIterator<Item = LocalState>) -> Option<Ps> {
+    use LocalState::*;
+    let mut any = false;
+    let (mut has_q, mut has_w, mut has_pc, mut has_c, mut has_a) =
+        (false, false, false, false, false);
+    for s in states {
+        any = true;
+        match s {
+            Initial => has_q = true,
+            Wait => has_w = true,
+            PreCommit => has_pc = true,
+            PreAbort => return None,
+            Committed => has_c = true,
+            Aborted => has_a = true,
+        }
+    }
+    if !any || (has_a && has_c) {
+        return None;
+    }
+    // Priority encoding of Fig. 4's definitions.
+    Some(if has_a {
+        Ps::Ps3
+    } else if has_c {
+        Ps::Ps6
+    } else if has_q {
+        Ps::Ps1
+    } else if has_pc && has_w {
+        Ps::Ps4
+    } else if has_pc {
+        Ps::Ps5
+    } else {
+        Ps::Ps2
+    })
+}
+
+/// The concurrency-set relations the paper states in Section 2 (used as
+/// ground truth by experiment E5):
+///
+/// * `PS3 ∈ C(PS1)` and `PS3 ∈ C(PS2)` — hence PS1/PS2 may only block or
+///   abort;
+/// * `PS6 ∈ C(PS5)` — hence PS5 may only block or commit;
+/// * `PS2 ∈ C(PS5)` and `PS5 ∈ C(PS2)` — the fatal pair: one partition
+///   that can only abort may coexist with one that can only commit;
+/// * `PS2 ∈ C(PS4)` and `PS5 ∈ C(PS4)` — PS4 must stay consistent with
+///   both.
+pub fn paper_concurrency_claims() -> &'static [(Ps, Ps)] {
+    &[
+        (Ps::Ps1, Ps::Ps3),
+        (Ps::Ps2, Ps::Ps3),
+        (Ps::Ps5, Ps::Ps6),
+        (Ps::Ps2, Ps::Ps5),
+        (Ps::Ps5, Ps::Ps2),
+        (Ps::Ps4, Ps::Ps2),
+        (Ps::Ps4, Ps::Ps5),
+    ]
+}
+
+/// The forced outcome of a partition state under the paper's Rule 1/2
+/// analysis (Section 2): what any correct termination protocol may do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForcedOutcome {
+    /// Must abort (a concurrent partition may already have aborted).
+    AbortOrBlock,
+    /// Must commit (a concurrent partition may already have committed).
+    CommitOrBlock,
+    /// Must terminate consistently with both PS2- and PS5-compatible
+    /// partitions: effectively block unless a quorum rules it out.
+    ConsistentWithBoth,
+    /// Already decided.
+    Decided(crate::types::Decision),
+}
+
+/// The paper's per-state analysis of what a correct termination protocol
+/// may do (Section 2).
+pub fn forced_outcome(ps: Ps) -> ForcedOutcome {
+    match ps {
+        Ps::Ps1 | Ps::Ps2 => ForcedOutcome::AbortOrBlock,
+        Ps::Ps3 => ForcedOutcome::Decided(crate::types::Decision::Abort),
+        Ps::Ps4 => ForcedOutcome::ConsistentWithBoth,
+        Ps::Ps5 => ForcedOutcome::CommitOrBlock,
+        Ps::Ps6 => ForcedOutcome::Decided(crate::types::Decision::Commit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LocalState::*;
+
+    #[test]
+    fn classification_matches_fig4_definitions() {
+        assert_eq!(classify([Initial, Wait]), Some(Ps::Ps1));
+        assert_eq!(classify([Wait, Wait, Wait]), Some(Ps::Ps2));
+        assert_eq!(classify([Aborted, Wait]), Some(Ps::Ps3));
+        assert_eq!(classify([Initial, Aborted]), Some(Ps::Ps3), "A beats q");
+        assert_eq!(classify([PreCommit, Wait]), Some(Ps::Ps4));
+        assert_eq!(classify([PreCommit, PreCommit]), Some(Ps::Ps5));
+        assert_eq!(classify([Committed, Wait, PreCommit]), Some(Ps::Ps6));
+    }
+
+    #[test]
+    fn singletons() {
+        assert_eq!(classify([Wait]), Some(Ps::Ps2));
+        assert_eq!(classify([PreCommit]), Some(Ps::Ps5));
+        assert_eq!(classify([Initial]), Some(Ps::Ps1));
+        assert_eq!(classify([Committed]), Some(Ps::Ps6));
+        assert_eq!(classify([Aborted]), Some(Ps::Ps3));
+    }
+
+    #[test]
+    fn out_of_vocabulary_inputs_rejected() {
+        assert_eq!(classify([]), None);
+        assert_eq!(classify([PreAbort, Wait]), None);
+        assert_eq!(classify([Committed, Aborted]), None, "atomicity violation");
+    }
+
+    #[test]
+    fn example1_partitions_classify_as_the_paper_says() {
+        // Fig. 3: G1 = {s2:W, s3:W} (s1 crashed), G2 = {s4:W, s5:PC},
+        // G3 = {s6:W, s7:W, s8:W}.
+        assert_eq!(classify([Wait, Wait]), Some(Ps::Ps2));
+        assert_eq!(classify([Wait, PreCommit]), Some(Ps::Ps4));
+        assert_eq!(classify([Wait, Wait, Wait]), Some(Ps::Ps2));
+    }
+
+    #[test]
+    fn forced_outcomes_match_section2() {
+        use crate::types::Decision;
+        assert_eq!(forced_outcome(Ps::Ps3), ForcedOutcome::Decided(Decision::Abort));
+        assert_eq!(forced_outcome(Ps::Ps6), ForcedOutcome::Decided(Decision::Commit));
+        assert_eq!(forced_outcome(Ps::Ps1), ForcedOutcome::AbortOrBlock);
+        assert_eq!(forced_outcome(Ps::Ps2), ForcedOutcome::AbortOrBlock);
+        assert_eq!(forced_outcome(Ps::Ps5), ForcedOutcome::CommitOrBlock);
+        assert_eq!(forced_outcome(Ps::Ps4), ForcedOutcome::ConsistentWithBoth);
+    }
+
+    #[test]
+    fn claims_are_within_vocabulary() {
+        for (a, b) in paper_concurrency_claims() {
+            assert!(Ps::ALL.contains(a));
+            assert!(Ps::ALL.contains(b));
+        }
+    }
+}

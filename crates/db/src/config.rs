@@ -1,0 +1,143 @@
+//! Site-node configuration.
+
+use qbc_core::{FaultyMode, ProtocolKind, SiteVotes, TxnId};
+use qbc_simnet::{Duration, SiteId};
+use qbc_votes::Catalog;
+use std::collections::BTreeSet;
+
+/// Static configuration of one database site.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This site's id.
+    pub site: SiteId,
+    /// The shared replication catalog (copy placement, `r`/`w` quorums).
+    pub catalog: Catalog,
+    /// Site-vote parameters, required when any transaction runs
+    /// [`ProtocolKind::SkeenQuorum`].
+    pub site_votes: Option<SiteVotes>,
+    /// The longest end-to-end network delay `T`; all protocol timeouts
+    /// are fixed multiples of it (`2T` collection windows, `3T`
+    /// watchdog).
+    pub t_bound: Duration,
+    /// Transactions this site votes *no* on (models a site whose I/O
+    /// subsystem cannot perform the update).
+    pub vote_no_on: BTreeSet<TxnId>,
+    /// Example 3 fault injection: answer prepares across the PC/PA wall.
+    pub faulty: FaultyMode,
+    /// Re-run the termination protocol after declaring a transaction
+    /// blocked (re-entrancy; the retry fires after
+    /// [`NodeConfig::blocked_retry`]).
+    pub retry_blocked: bool,
+    /// Delay before a blocked transaction's termination is retried.
+    pub blocked_retry: Duration,
+    /// Maximum termination rounds this site will *initiate* per
+    /// transaction. Unlimited by default (the paper's re-entrant loop);
+    /// Monte-Carlo sweeps cap it so permanently blocked runs settle
+    /// instead of churning elections forever.
+    pub max_termination_rounds: u64,
+}
+
+impl NodeConfig {
+    /// A configuration with conventional defaults.
+    pub fn new(site: SiteId, catalog: Catalog, t_bound: Duration) -> Self {
+        NodeConfig {
+            site,
+            catalog,
+            site_votes: None,
+            t_bound,
+            vote_no_on: BTreeSet::new(),
+            faulty: FaultyMode::Correct,
+            retry_blocked: true,
+            blocked_retry: Duration(t_bound.0 * 6),
+            max_termination_rounds: u64::MAX,
+        }
+    }
+
+    /// Sets the Skeen site-vote parameters.
+    pub fn with_site_votes(mut self, sv: SiteVotes) -> Self {
+        self.site_votes = Some(sv);
+        self
+    }
+
+    /// Scripts a no vote for a transaction.
+    pub fn vote_no(mut self, txn: TxnId) -> Self {
+        self.vote_no_on.insert(txn);
+        self
+    }
+
+    /// Enables the Example 3 fault.
+    pub fn with_fault(mut self, faulty: FaultyMode) -> Self {
+        self.faulty = faulty;
+        self
+    }
+
+    /// Disables blocked-transaction retries (lets experiments observe a
+    /// lasting blocked state).
+    pub fn no_retry(mut self) -> Self {
+        self.retry_blocked = false;
+        self
+    }
+
+    /// Collection window `2T` (Figs. 5/8 phases 2–3).
+    pub fn window_2t(&self) -> Duration {
+        self.t_bound.times(2)
+    }
+
+    /// Watchdog `3T` (Fig. 5 participant event 6).
+    pub fn watchdog_3t(&self) -> Duration {
+        self.t_bound.times(3)
+    }
+
+    /// Sanity-check the protocol parameters for a given kind.
+    pub fn validate_for(&self, protocol: ProtocolKind) -> Result<(), String> {
+        if protocol == ProtocolKind::SkeenQuorum {
+            match &self.site_votes {
+                None => return Err("SkeenQuorum requires site_votes".into()),
+                Some(sv) => sv.validate()?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbc_votes::CatalogBuilder;
+    use qbc_votes::ItemId;
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .item(ItemId(0), "x")
+            .copies_at([SiteId(0), SiteId(1), SiteId(2)])
+            .majority()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn timeouts_are_paper_multiples() {
+        let cfg = NodeConfig::new(SiteId(0), catalog(), Duration(10));
+        assert_eq!(cfg.window_2t(), Duration(20));
+        assert_eq!(cfg.watchdog_3t(), Duration(30));
+        assert_eq!(cfg.blocked_retry, Duration(60));
+    }
+
+    #[test]
+    fn skeen_requires_site_votes() {
+        let cfg = NodeConfig::new(SiteId(0), catalog(), Duration(10));
+        assert!(cfg.validate_for(ProtocolKind::SkeenQuorum).is_err());
+        assert!(cfg.validate_for(ProtocolKind::QuorumCommit1).is_ok());
+        let cfg = cfg.with_site_votes(SiteVotes::uniform([SiteId(0), SiteId(1), SiteId(2)], 2, 2));
+        assert!(cfg.validate_for(ProtocolKind::SkeenQuorum).is_ok());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = NodeConfig::new(SiteId(0), catalog(), Duration(10))
+            .vote_no(TxnId(4))
+            .no_retry();
+        assert!(cfg.vote_no_on.contains(&TxnId(4)));
+        assert!(!cfg.retry_blocked);
+    }
+}

@@ -1,0 +1,94 @@
+//! The network message envelope and timer vocabulary of a database site.
+
+use qbc_core::{Msg, TimerKind, TxnId, TxnSpec};
+use qbc_election::{ElectionMsg, ElectionTimer};
+use qbc_simnet::Label;
+use qbc_votes::{ItemId, Version};
+use serde::{Deserialize, Serialize};
+
+/// Everything a site sends over the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum NetMsg {
+    /// A commit/termination protocol message.
+    Proto(Msg),
+    /// A per-transaction election message; carries the spec so sites
+    /// that never saw the transaction can still take part.
+    Election {
+        /// Transaction whose termination needs a coordinator.
+        txn: TxnId,
+        /// Transaction description.
+        spec: TxnSpec,
+        /// The election payload.
+        msg: ElectionMsg,
+    },
+    /// Quorum-read request for one item copy.
+    ReadReq {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// Item requested.
+        item: ItemId,
+    },
+    /// Reply to [`NetMsg::ReadReq`].
+    ReadRep {
+        /// Echoed request id.
+        req_id: u64,
+        /// Item.
+        item: ItemId,
+        /// Copy content if readable here: `(version, value)`. `None`
+        /// when this site has no copy, or the copy is locked by an
+        /// undecided transaction (the paper's blocked-locks effect).
+        copy: Option<(Version, i64)>,
+    },
+}
+
+impl Label for NetMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            NetMsg::Proto(m) => m.label(),
+            NetMsg::Election { msg, .. } => msg.label(),
+            NetMsg::ReadReq { .. } => "READ-REQ",
+            NetMsg::ReadRep { .. } => "READ-REP",
+        }
+    }
+}
+
+/// Everything a site arms timers with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeTimer {
+    /// A protocol timer (vote/ack/state collection, watchdog, retry).
+    Proto(TimerKind),
+    /// An election timer for a transaction's termination coordinator
+    /// election.
+    Election {
+        /// Transaction.
+        txn: TxnId,
+        /// Election-internal timer.
+        timer: ElectionTimer,
+    },
+    /// Quorum-read collection window expired.
+    ReadTimeout {
+        /// Request id.
+        req_id: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbc_core::Decision;
+
+    #[test]
+    fn labels_delegate() {
+        let m = NetMsg::Proto(Msg::Decided {
+            txn: TxnId(1),
+            decision: Decision::Abort,
+            commit_version: None,
+        });
+        assert_eq!(m.label(), "DECIDED");
+        let r = NetMsg::ReadReq {
+            req_id: 1,
+            item: ItemId(0),
+        };
+        assert_eq!(r.label(), "READ-REQ");
+    }
+}

@@ -1,0 +1,965 @@
+//! The database site node: protocol engines wired to the network, the
+//! lock manager and stable storage.
+//!
+//! A [`SiteNode`] implements [`Process`] and can run on the
+//! deterministic simulator or the threaded transport. Per transaction it
+//! hosts:
+//!
+//! * a [`Participant`] engine (always),
+//! * a [`Coordinator`] engine (at the site where the client submitted),
+//! * an [`Elector`] plus a [`Termination`] engine while the termination
+//!   protocol runs (any site of the partition can end up coordinator —
+//!   including several at once),
+//!
+//! and integrates them with:
+//!
+//! * **strict 2PL (no-wait)** — voting yes requires X-locks on every
+//!   local copy of the writeset; a conflict makes the site vote no;
+//!   locks are held until the decision, which is what makes *blocked*
+//!   transactions reduce availability (the paper's Section 1 argument);
+//! * **stable storage** — every engine `Log` action is force-written
+//!   before subsequent sends; recovery replays the log and re-enters the
+//!   termination path;
+//! * **quorum reads** — `r(x)` votes collected over live, unlocked
+//!   copies, returning the max-version value (Gifford's currency rule).
+
+use crate::config::NodeConfig;
+use crate::envelope::{NetMsg, NodeTimer};
+use qbc_core::{
+    recover_state, Action, Coordinator, Decision, LocalState, LogRecord, Msg, Participant,
+    ParticipantConfig, ProtocolKind, Termination, TimerKind, Transition, TxnId, TxnSpec, WriteSet,
+};
+use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
+use qbc_locks::{LockManager, LockMode, LockOutcome};
+use qbc_simnet::{Ctx, Process, SiteId, Time, TimerId};
+use qbc_storage::SiteStorage;
+use qbc_votes::{Catalog, ItemId, Version};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Outcome of a quorum read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadResult {
+    /// Still collecting replies.
+    Pending,
+    /// Read quorum assembled; max-version value returned.
+    Success {
+        /// Version of the newest copy in the quorum.
+        version: Version,
+        /// Its value.
+        value: i64,
+    },
+    /// The collection window expired below quorum (partition, crashes,
+    /// or copies pinned by blocked transactions).
+    Unavailable,
+}
+
+#[derive(Debug)]
+struct ReadCollect {
+    item: ItemId,
+    votes: u32,
+    best: Option<(Version, i64)>,
+    result: ReadResult,
+}
+
+/// Per-transaction state hosted at this site.
+#[derive(Debug)]
+struct TxnState {
+    spec: TxnSpec,
+    participant: Participant,
+    coordinator: Option<Coordinator>,
+    termination: Option<Termination>,
+    elector: Option<Elector>,
+    last_coord_contact: Time,
+    watchdog_armed: bool,
+    decided: Option<Decision>,
+    decided_at: Option<Time>,
+    blocked: bool,
+    termination_rounds: u64,
+    started_at: Time,
+}
+
+/// A diagnostic violation note recorded by the engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Transaction involved.
+    pub txn: TxnId,
+    /// What happened.
+    pub note: &'static str,
+}
+
+/// One full database site.
+pub struct SiteNode {
+    cfg: NodeConfig,
+    catalog: Arc<Catalog>,
+    storage: SiteStorage<LogRecord, i64>,
+    locks: LockManager<ItemId, TxnId>,
+    txns: BTreeMap<TxnId, TxnState>,
+    reads: BTreeMap<u64, ReadCollect>,
+    violations: Vec<Violation>,
+    /// Self-addressed messages processed synchronously (local delivery).
+    local_queue: VecDeque<NetMsg>,
+}
+
+impl SiteNode {
+    /// Builds a site and loads the initial value of every local copy.
+    pub fn new(cfg: NodeConfig, initial_values: impl Fn(ItemId) -> i64) -> Self {
+        let catalog = Arc::new(cfg.catalog.clone());
+        let mut storage = SiteStorage::new();
+        for item in catalog.items_at(cfg.site) {
+            storage.initialize_item(item, initial_values(item));
+        }
+        SiteNode {
+            cfg,
+            catalog,
+            storage,
+            locks: LockManager::new(),
+            txns: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            violations: Vec::new(),
+            local_queue: VecDeque::new(),
+        }
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.cfg.site
+    }
+
+    // ---- public inspection API (used by the harness and tests) --------
+
+    /// The decision reached for a transaction at this site, if any.
+    pub fn decision(&self, txn: TxnId) -> Option<Decision> {
+        self.txns.get(&txn).and_then(|t| t.decided)
+    }
+
+    /// Virtual time at which this site decided the transaction.
+    pub fn decided_at(&self, txn: TxnId) -> Option<Time> {
+        self.txns.get(&txn).and_then(|t| t.decided_at)
+    }
+
+    /// The local participant state for a transaction.
+    pub fn local_state(&self, txn: TxnId) -> Option<LocalState> {
+        self.txns.get(&txn).map(|t| t.participant.state())
+    }
+
+    /// True while the transaction is declared blocked at this site.
+    pub fn is_blocked(&self, txn: TxnId) -> bool {
+        self.txns.get(&txn).map(|t| t.blocked).unwrap_or(false)
+    }
+
+    /// All transactions this site knows about.
+    pub fn known_txns(&self) -> Vec<TxnId> {
+        self.txns.keys().copied().collect()
+    }
+
+    /// The audit trail of participant state transitions (experiment E6).
+    pub fn transitions(&self, txn: TxnId) -> Vec<Transition> {
+        self.txns
+            .get(&txn)
+            .map(|t| t.participant.transitions().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Diagnostic violations recorded by the engines (empty in correct
+    /// runs).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The durable value of a local copy.
+    pub fn item_value(&self, item: ItemId) -> Option<(Version, i64)> {
+        self.storage.read_item(item).map(|(v, val)| (v, *val))
+    }
+
+    /// True when the local copy of `item` is pinned by an undecided
+    /// transaction's lock.
+    pub fn is_item_locked(&self, item: ItemId) -> bool {
+        self.locks.is_locked(&item)
+    }
+
+    /// The result of a quorum read started with [`SiteNode::start_read`].
+    pub fn read_result(&self, req_id: u64) -> Option<ReadResult> {
+        self.reads.get(&req_id).map(|r| r.result)
+    }
+
+    /// Read-only access to the durable log (for experiments and tests).
+    pub fn log_records(&self) -> Vec<LogRecord> {
+        self.storage.wal().replay().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Number of termination rounds this site initiated for `txn`.
+    pub fn termination_rounds(&self, txn: TxnId) -> u64 {
+        self.txns
+            .get(&txn)
+            .map(|t| t.termination_rounds)
+            .unwrap_or(0)
+    }
+
+    // ---- client entry points -------------------------------------------
+
+    /// Submits a transaction at this site (this site coordinates).
+    ///
+    /// Invoke inside the simulation via `Sim::schedule_call`.
+    pub fn begin_transaction(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        txn: TxnId,
+        writeset: WriteSet,
+        protocol: ProtocolKind,
+    ) {
+        debug_assert!(self.cfg.validate_for(protocol).is_ok());
+        let spec = TxnSpec::from_catalog(txn, self.cfg.site, writeset, protocol, &self.catalog);
+        let state = self.ensure_txn(ctx.now(), &spec);
+        state.started_at = ctx.now();
+        let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
+        let actions = coord.start();
+        self.txns
+            .get_mut(&txn)
+            .expect("just ensured")
+            .coordinator = Some(coord);
+        self.apply_actions(ctx, txn, self.cfg.site, actions);
+        self.pump(ctx);
+    }
+
+    /// Starts a quorum read of `item`, collecting `r(item)` votes.
+    pub fn start_read(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, req_id: u64, item: ItemId) {
+        let Some(spec) = self.catalog.item(item) else {
+            self.reads.insert(
+                req_id,
+                ReadCollect {
+                    item,
+                    votes: 0,
+                    best: None,
+                    result: ReadResult::Unavailable,
+                },
+            );
+            return;
+        };
+        self.reads.insert(
+            req_id,
+            ReadCollect {
+                item,
+                votes: 0,
+                best: None,
+                result: ReadResult::Pending,
+            },
+        );
+        let targets: Vec<SiteId> = spec.sites().collect();
+        for to in targets {
+            self.send_net(ctx, to, NetMsg::ReadReq { req_id, item });
+        }
+        ctx.set_timer(self.cfg.window_2t(), NodeTimer::ReadTimeout { req_id });
+        self.pump(ctx);
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn ensure_txn(&mut self, now: Time, spec: &TxnSpec) -> &mut TxnState {
+        let site = self.cfg.site;
+        let faulty = self.cfg.faulty;
+        self.txns.entry(spec.id).or_insert_with(|| TxnState {
+            spec: spec.clone(),
+            participant: Participant::new(
+                site,
+                spec.id,
+                ParticipantConfig {
+                    vote_yes: true,
+                    faulty,
+                },
+            ),
+            coordinator: None,
+            termination: None,
+            elector: None,
+            last_coord_contact: now,
+            watchdog_armed: false,
+            decided: None,
+            decided_at: None,
+            blocked: false,
+            termination_rounds: 0,
+            started_at: now,
+        })
+    }
+
+    /// Routes a self-addressed message through the local queue instead of
+    /// the network: a site never loses messages to itself.
+    fn send_net(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, to: SiteId, msg: NetMsg) {
+        if to == self.cfg.site {
+            self.local_queue.push_back(msg);
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Drains locally queued (self-addressed) messages.
+    fn pump(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        let me = self.cfg.site;
+        while let Some(msg) = self.local_queue.pop_front() {
+            self.handle_net(ctx, me, msg);
+        }
+    }
+
+    fn handle_net(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, msg: NetMsg) {
+        match msg {
+            NetMsg::Proto(m) => self.handle_proto(ctx, from, m),
+            NetMsg::Election { txn, spec, msg } => {
+                self.handle_election_msg(ctx, from, txn, spec, msg)
+            }
+            NetMsg::ReadReq { req_id, item } => {
+                let copy = if self.locks.is_locked(&item) {
+                    // Pinned by an undecided transaction: inaccessible.
+                    None
+                } else {
+                    self.storage.read_item(item).map(|(v, val)| (v, *val))
+                };
+                self.send_net(ctx, from, NetMsg::ReadRep { req_id, item, copy });
+            }
+            NetMsg::ReadRep { req_id, item, copy } => {
+                let Some(weight) = self
+                    .catalog
+                    .item(item)
+                    .map(|spec| spec.weight_at(from))
+                else {
+                    return;
+                };
+                let read_quorum = self
+                    .catalog
+                    .item(item)
+                    .map(|s| s.read_quorum)
+                    .unwrap_or(u32::MAX);
+                if let Some(r) = self.reads.get_mut(&req_id) {
+                    if r.result != ReadResult::Pending || r.item != item {
+                        return;
+                    }
+                    if let Some((version, value)) = copy {
+                        r.votes += weight;
+                        if r.best.map(|(bv, _)| version > bv).unwrap_or(true) {
+                            r.best = Some((version, value));
+                        }
+                        if r.votes >= read_quorum {
+                            let (version, value) = r.best.expect("at least one copy");
+                            r.result = ReadResult::Success { version, value };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_proto(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, m: Msg) {
+        let txn = m.txn();
+        // Learn the spec from spec-carrying messages.
+        match &m {
+            Msg::VoteReq { spec } | Msg::StateReq { spec, .. } => {
+                self.ensure_txn(ctx.now(), &spec.clone());
+            }
+            _ => {}
+        }
+        if !self.txns.contains_key(&txn) {
+            // A message about a transaction this site knows nothing of
+            // (e.g. a stray ack to a recovered coordinator): ignore.
+            return;
+        }
+
+        // Dynamic vote decision: scripted no-votes and lock conflicts.
+        if let Msg::VoteReq { spec } = &m {
+            if self.txns[&txn].participant.state() == LocalState::Initial {
+                let scripted_no = self.cfg.vote_no_on.contains(&txn);
+                let locked = scripted_no || !self.try_lock_writeset(txn, spec);
+                let st = self.txns.get_mut(&txn).expect("ensured");
+                st.participant.set_vote(!locked);
+            }
+        }
+
+        // The highest local version among writeset copies (reported in
+        // yes votes; basis of the commit version).
+        let local_max_version = {
+            let st = &self.txns[&txn];
+            st.spec
+                .writeset
+                .items()
+                .filter_map(|i| self.storage.item_version(i))
+                .max()
+                .unwrap_or(Version::INITIAL)
+        };
+
+        let catalog = Arc::clone(&self.catalog);
+        let mut actions: Vec<Action> = Vec::new();
+        {
+            let st = self.txns.get_mut(&txn).expect("checked");
+            st.last_coord_contact = ctx.now();
+            match &m {
+                Msg::Vote {
+                    yes, max_version, ..
+                } => {
+                    if let Some(c) = st.coordinator.as_mut() {
+                        actions = c.on_vote(from, *yes, *max_version, &catalog);
+                    }
+                }
+                Msg::PcAck { .. } => {
+                    if let Some(c) = st.coordinator.as_mut() {
+                        actions.extend(c.on_pc_ack(from, &catalog));
+                    }
+                    if let Some(t) = st.termination.as_mut() {
+                        actions.extend(t.on_pc_ack(from, &catalog));
+                    }
+                }
+                Msg::PaAck { .. } => {
+                    if let Some(t) = st.termination.as_mut() {
+                        actions.extend(t.on_pa_ack(from, &catalog));
+                    }
+                }
+                Msg::StateRep {
+                    round,
+                    state,
+                    pc_version,
+                    ..
+                } => {
+                    if let Some(t) = st.termination.as_mut() {
+                        actions = t.on_state_rep(from, *round, *state, *pc_version, &catalog);
+                    }
+                }
+                Msg::Decided {
+                    decision,
+                    commit_version,
+                    ..
+                } => {
+                    if let Some(t) = st.termination.as_mut() {
+                        actions.extend(t.on_decided(*decision, *commit_version));
+                    }
+                    actions.extend(st.participant.on_msg(from, &m, local_max_version));
+                }
+                // Participant-role messages.
+                Msg::VoteReq { .. }
+                | Msg::PrepareCommit { .. }
+                | Msg::PrepareAbort { .. }
+                | Msg::Commit { .. }
+                | Msg::Abort { .. }
+                | Msg::StateReq { .. } => {
+                    actions = st.participant.on_msg(from, &m, local_max_version);
+                }
+            }
+        }
+        self.apply_actions(ctx, txn, from, actions);
+        self.adopt_coordinator_decision(ctx.now(), txn);
+        self.arm_watchdog(ctx, txn);
+    }
+
+    /// A coordinator that holds no copies (it is a client, not a
+    /// participant — Example 3's s1) never receives the commit/abort
+    /// command it broadcasts; its bookkeeping adopts the engine's
+    /// decision directly. Participant coordinators are handled by the
+    /// normal participant path (which also applies the updates), so
+    /// they are excluded here.
+    fn adopt_coordinator_decision(&mut self, now: Time, txn: TxnId) {
+        if let Some(st) = self.txns.get_mut(&txn) {
+            if st.decided.is_none() && !st.spec.participants.contains(&self.cfg.site) {
+                if let Some(qbc_core::CoordPhase::Decided(d)) =
+                    st.coordinator.as_ref().map(|c| c.phase())
+                {
+                    st.decided = Some(d);
+                    st.decided_at = Some(now);
+                }
+            }
+        }
+    }
+
+    fn try_lock_writeset(&mut self, txn: TxnId, spec: &TxnSpec) -> bool {
+        // No-wait 2PL: X-lock every local copy of the writeset; any
+        // conflict means vote no (prevents distributed deadlock).
+        let local_items: Vec<ItemId> = spec
+            .writeset
+            .items()
+            .filter(|&i| {
+                self.catalog
+                    .item(i)
+                    .map(|s| s.copies.contains_key(&self.cfg.site))
+                    .unwrap_or(false)
+            })
+            .collect();
+        for (k, item) in local_items.iter().enumerate() {
+            match self.locks.acquire(txn, *item, LockMode::Exclusive) {
+                LockOutcome::Granted => {}
+                LockOutcome::Waiting => {
+                    // Roll back the partial acquisition (and the queued
+                    // request).
+                    for it in &local_items[..=k] {
+                        self.locks.release(&txn, it);
+                    }
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        txn: TxnId,
+        reply_to: SiteId,
+        actions: Vec<Action>,
+    ) {
+        for a in actions {
+            match a {
+                Action::Reply(m) => self.send_net(ctx, reply_to, NetMsg::Proto(m)),
+                Action::Send(to, m) => self.send_net(ctx, to, NetMsg::Proto(m)),
+                Action::Broadcast(targets, m) => {
+                    for to in targets {
+                        self.send_net(ctx, to, NetMsg::Proto(m.clone()));
+                    }
+                }
+                Action::Log(rec) => {
+                    self.storage.log(rec);
+                }
+                Action::ApplyAndDecide {
+                    decision,
+                    commit_version,
+                } => self.apply_decision(ctx.now(), txn, decision, commit_version),
+                Action::SetTimer(kind) => {
+                    let span = match kind {
+                        TimerKind::VoteCollection { .. }
+                        | TimerKind::AckCollection { .. }
+                        | TimerKind::StateCollection { .. }
+                        | TimerKind::TerminationAcks { .. } => self.cfg.window_2t(),
+                        TimerKind::CoordinatorWatch { .. } => self.cfg.watchdog_3t(),
+                        TimerKind::BlockedRetry { .. } => self.cfg.blocked_retry,
+                    };
+                    ctx.set_timer(span, NodeTimer::Proto(kind));
+                }
+                Action::RequestTermination { txn } => {
+                    self.start_termination_election(ctx, txn);
+                }
+                Action::DeclareBlocked { txn } => {
+                    if let Some(st) = self.txns.get_mut(&txn) {
+                        st.blocked = true;
+                    }
+                    if self.cfg.retry_blocked {
+                        ctx.set_timer(
+                            self.cfg.blocked_retry,
+                            NodeTimer::Proto(TimerKind::BlockedRetry { txn }),
+                        );
+                    }
+                }
+                Action::ViolationNote { txn, note } => {
+                    self.violations.push(Violation { txn, note });
+                }
+            }
+        }
+    }
+
+    fn apply_decision(
+        &mut self,
+        now: Time,
+        txn: TxnId,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) {
+        if let Some(st) = self.txns.get_mut(&txn) {
+            if st.decided.is_some() {
+                return;
+            }
+            st.decided = Some(decision);
+            st.decided_at = Some(now);
+            st.blocked = false;
+            if decision == Decision::Commit {
+                let version = commit_version.expect("commit carries version");
+                for (item, value) in st.spec.writeset.updates.clone() {
+                    if self.storage.read_item(item).is_some() {
+                        // Regression errors mean the update was already
+                        // applied (recovery replay): idempotent.
+                        let _ = self.storage.apply_update(item, version, value);
+                    }
+                }
+            }
+        }
+        self.locks.release_all(&txn);
+    }
+
+    fn arm_watchdog(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
+        if let Some(st) = self.txns.get_mut(&txn) {
+            if st.decided.is_none() && !st.watchdog_armed {
+                st.watchdog_armed = true;
+                ctx.set_timer(
+                    self.cfg.watchdog_3t(),
+                    NodeTimer::Proto(TimerKind::CoordinatorWatch { txn }),
+                );
+            }
+        }
+    }
+
+    fn start_termination_election(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
+        let Some(st) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if st.decided.is_some() || st.termination_rounds >= self.cfg.max_termination_rounds {
+            return;
+        }
+        let spec = st.spec.clone();
+        if st.elector.is_none() {
+            st.elector = Some(Elector::new(self.cfg.site, spec.participants.clone()));
+        }
+        let actions = st
+            .elector
+            .as_mut()
+            .expect("just created")
+            .step(ElInput::Start);
+        self.apply_election_actions(ctx, txn, spec, actions);
+    }
+
+    fn handle_election_msg(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        from: SiteId,
+        txn: TxnId,
+        spec: TxnSpec,
+        msg: ElectionMsg,
+    ) {
+        self.ensure_txn(ctx.now(), &spec);
+        let st = self.txns.get_mut(&txn).expect("ensured");
+        // A decided site answers elections with the outcome directly.
+        if let Some(decision) = st.decided {
+            let commit_version = st.participant.commit_version();
+            self.send_net(
+                ctx,
+                from,
+                NetMsg::Proto(Msg::Decided {
+                    txn,
+                    decision,
+                    commit_version,
+                }),
+            );
+            return;
+        }
+        st.last_coord_contact = ctx.now();
+        if st.elector.is_none() {
+            st.elector = Some(Elector::new(self.cfg.site, spec.participants.clone()));
+        }
+        let actions = st
+            .elector
+            .as_mut()
+            .expect("just created")
+            .step(ElInput::Msg { from, msg });
+        self.apply_election_actions(ctx, txn, spec, actions);
+        self.arm_watchdog(ctx, txn);
+    }
+
+    fn apply_election_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        txn: TxnId,
+        spec: TxnSpec,
+        actions: Vec<ElAction>,
+    ) {
+        for a in actions {
+            match a {
+                ElAction::Send { to, msg } => {
+                    let m = NetMsg::Election {
+                        txn,
+                        spec: spec.clone(),
+                        msg,
+                    };
+                    self.send_net(ctx, to, m);
+                }
+                ElAction::SetTimer(timer) => {
+                    ctx.set_timer(self.cfg.window_2t(), NodeTimer::Election { txn, timer });
+                }
+                ElAction::Elected => self.start_termination_round(ctx, txn),
+                ElAction::CoordinatorIs(_) => {
+                    if let Some(st) = self.txns.get_mut(&txn) {
+                        st.last_coord_contact = ctx.now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_termination_round(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
+        let Some(st) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if st.decided.is_some() {
+            return;
+        }
+        st.termination_rounds += 1;
+        let round = st.termination_rounds;
+        let kind = qbc_core::termination_kind_for(st.spec.protocol, self.cfg.site_votes.as_ref());
+        let (term, actions) = Termination::start(
+            self.cfg.site,
+            st.spec.clone(),
+            kind,
+            round,
+            st.participant.state(),
+            st.participant.commit_version(),
+        );
+        st.termination = Some(term);
+        self.apply_actions(ctx, txn, self.cfg.site, actions);
+    }
+}
+
+impl Process for SiteNode {
+    type Msg = NetMsg;
+    type Timer = NodeTimer;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, msg: NetMsg) {
+        self.handle_net(ctx, from, msg);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, _id: TimerId, timer: NodeTimer) {
+        let catalog = Arc::clone(&self.catalog);
+        match timer {
+            NodeTimer::Proto(kind) => match kind {
+                TimerKind::VoteCollection { txn } => {
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .and_then(|st| st.coordinator.as_mut())
+                        .map(|c| c.on_vote_timer())
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                    self.adopt_coordinator_decision(ctx.now(), txn);
+                }
+                TimerKind::AckCollection { txn } => {
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .and_then(|st| st.coordinator.as_mut())
+                        .map(|c| c.on_ack_timer(&catalog))
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                    self.adopt_coordinator_decision(ctx.now(), txn);
+                }
+                TimerKind::StateCollection { txn, round } => {
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .and_then(|st| st.termination.as_mut())
+                        .map(|t| t.on_state_timer(round, &catalog))
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                }
+                TimerKind::TerminationAcks { txn, round } => {
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .and_then(|st| st.termination.as_mut())
+                        .map(|t| t.on_acks_timer(round, &catalog))
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                }
+                TimerKind::CoordinatorWatch { txn } => self.on_watchdog(ctx, txn),
+                TimerKind::BlockedRetry { txn } => {
+                    let undecided = self
+                        .txns
+                        .get(&txn)
+                        .map(|st| st.decided.is_none())
+                        .unwrap_or(false);
+                    if undecided {
+                        self.start_termination_election(ctx, txn);
+                    }
+                }
+            },
+            NodeTimer::Election { txn, timer } => {
+                let (spec, actions) = match self.txns.get_mut(&txn) {
+                    Some(st) if st.decided.is_none() => match st.elector.as_mut() {
+                        Some(e) => (st.spec.clone(), e.step(ElInput::Timer(timer))),
+                        None => return,
+                    },
+                    _ => return,
+                };
+                self.apply_election_actions(ctx, txn, spec, actions);
+            }
+            NodeTimer::ReadTimeout { req_id } => {
+                if let Some(r) = self.reads.get_mut(&req_id) {
+                    if r.result == ReadResult::Pending {
+                        r.result = ReadResult::Unavailable;
+                    }
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_crash(&mut self, _now: Time) {
+        // Volatile state dies with the site; the WAL and item store
+        // survive inside `storage`.
+        self.storage.crash();
+        self.txns.clear();
+        self.reads.clear();
+        self.locks = LockManager::new();
+        self.local_queue.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        let records = self.log_records();
+        let recovered = recover_state(records.iter());
+        let site = self.cfg.site;
+        let faulty = self.cfg.faulty;
+        for (txn, rec) in recovered {
+            let Some(spec) = rec.spec.clone() else {
+                // Without a spec (vote-no abort) there is nothing to
+                // re-enter; the decision is already durable.
+                continue;
+            };
+            let participant = Participant::from_recovery(
+                site,
+                txn,
+                ParticipantConfig {
+                    vote_yes: true,
+                    faulty,
+                },
+                &rec,
+            );
+            let state = participant.state();
+            let decided = state.decision();
+            // Re-apply committed updates (idempotent: version checks).
+            if decided == Some(Decision::Commit) {
+                if let Some(version) = rec.commit_version {
+                    for (item, value) in spec.writeset.updates.clone() {
+                        if self.storage.read_item(item).is_some() {
+                            let _ = self.storage.apply_update(item, version, value);
+                        }
+                    }
+                }
+            }
+            // Re-acquire locks for in-doubt transactions: their outcome
+            // is unknown, so their items must stay inaccessible.
+            if decided.is_none() {
+                for item in spec.writeset.items() {
+                    if self.storage.read_item(item).is_some() {
+                        let _ = self.locks.acquire(txn, item, LockMode::Exclusive);
+                    }
+                }
+            }
+            self.txns.insert(
+                txn,
+                TxnState {
+                    spec,
+                    participant,
+                    coordinator: None,
+                    termination: None,
+                    elector: None,
+                    last_coord_contact: ctx.now(),
+                    watchdog_armed: false,
+                    decided,
+                    decided_at: if decided.is_some() {
+                        Some(ctx.now())
+                    } else {
+                        None
+                    },
+                    blocked: false,
+                    termination_rounds: 0,
+                    started_at: ctx.now(),
+                },
+            );
+            if decided.is_none() {
+                self.arm_watchdog(ctx, txn);
+            }
+            // Coordinator-side recovery duties.
+            let st = self.txns.get(&txn).expect("just inserted");
+            if st.spec.coordinator != site {
+                continue;
+            }
+            let targets: Vec<SiteId> = st.spec.participants.iter().copied().collect();
+            let is_participant = st.spec.participants.contains(&site);
+            let protocol = st.spec.protocol;
+            let commit_version = st.participant.commit_version();
+            match st.decided {
+                // Re-announce a decision that may never have left this
+                // site (crash between log force and broadcast).
+                Some(decision) => {
+                    for to in targets {
+                        self.send_net(
+                            ctx,
+                            to,
+                            NetMsg::Proto(Msg::Decided {
+                                txn,
+                                decision,
+                                commit_version,
+                            }),
+                        );
+                    }
+                }
+                // 2PC presumed abort: the commit point is this site's
+                // own Decided record; its absence proves the transaction
+                // never committed, so the recovering coordinator may
+                // (must, for liveness) abort it. The quorum protocols
+                // may NOT do this — their termination protocols can
+                // commit without the coordinator — so recovery there
+                // just rejoins as a participant.
+                None if protocol == ProtocolKind::TwoPhase => {
+                    self.storage.log(LogRecord::Decided {
+                        txn,
+                        decision: Decision::Abort,
+                        commit_version: None,
+                    });
+                    if is_participant {
+                        // Terminate the local participant too.
+                        let actions = self
+                            .txns
+                            .get_mut(&txn)
+                            .expect("present")
+                            .participant
+                            .on_msg(site, &Msg::Abort { txn }, Version::INITIAL);
+                        self.apply_actions(ctx, txn, site, actions);
+                    } else if let Some(st) = self.txns.get_mut(&txn) {
+                        st.decided = Some(Decision::Abort);
+                        st.decided_at = Some(ctx.now());
+                    }
+                    for to in targets {
+                        self.send_net(ctx, to, NetMsg::Proto(Msg::Abort { txn }));
+                    }
+                }
+                None => {}
+            }
+        }
+        self.pump(ctx);
+    }
+}
+
+impl SiteNode {
+    fn on_watchdog(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
+        let now = ctx.now();
+        let watchdog = self.cfg.watchdog_3t();
+        let (expired, actions) = match self.txns.get_mut(&txn) {
+            None => return,
+            Some(st) => {
+                st.watchdog_armed = false;
+                if st.decided.is_some() {
+                    return;
+                }
+                if now.since(st.last_coord_contact) >= watchdog {
+                    (true, st.participant.on_coordinator_silent())
+                } else {
+                    (false, Vec::new())
+                }
+            }
+        };
+        if expired {
+            self.apply_actions(ctx, txn, self.cfg.site, actions);
+        }
+        // Re-arm while undecided (drives the re-entrant retry loop).
+        self.arm_watchdog(ctx, txn);
+        self.pump(ctx);
+    }
+}
+
+/// Convenience: builds one [`SiteNode`] per site over a shared catalog.
+///
+/// `sites` should cover every site appearing in the catalog (plus any
+/// extra client-only sites). Initial values default to zero.
+pub fn build_cluster(
+    sites: impl IntoIterator<Item = SiteId>,
+    catalog: &Catalog,
+    t_bound: qbc_simnet::Duration,
+    mut customize: impl FnMut(NodeConfig) -> NodeConfig,
+) -> Vec<(SiteId, SiteNode)> {
+    sites
+        .into_iter()
+        .map(|s| {
+            let cfg = customize(NodeConfig::new(s, catalog.clone(), t_bound));
+            (s, SiteNode::new(cfg, |_| 0))
+        })
+        .collect()
+}

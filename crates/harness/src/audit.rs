@@ -1,0 +1,81 @@
+//! Fig. 6 conformance auditing over finished runs (experiment E6).
+
+use crate::scenario::ScenarioOutcome;
+use qbc_core::{LocalState, Transition, TxnId};
+use std::collections::BTreeMap;
+
+/// The audit result: observed transition counts and any illegal edges.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionAudit {
+    /// Count per distinct `(from, to)` edge (self-loops omitted).
+    pub counts: BTreeMap<(LocalState, LocalState), u64>,
+    /// Illegal transitions witnessed (empty in correct runs).
+    pub illegal: Vec<Transition>,
+}
+
+impl TransitionAudit {
+    /// Folds every participant transition of `txn` in `out` into the
+    /// audit.
+    pub fn absorb(&mut self, out: &ScenarioOutcome, txn: TxnId) {
+        for (_, node) in out.sim.nodes() {
+            for tr in node.transitions(txn) {
+                if tr.from != tr.to {
+                    *self.counts.entry((tr.from, tr.to)).or_insert(0) += 1;
+                }
+                if !tr.is_legal() {
+                    self.illegal.push(tr);
+                }
+            }
+        }
+    }
+
+    /// True when no illegal transition was witnessed.
+    pub fn clean(&self) -> bool {
+        self.illegal.is_empty()
+    }
+
+    /// True when the audit witnessed a PC↔PA crossing (the Example 3
+    /// signature).
+    pub fn crossed_the_wall(&self) -> bool {
+        self.illegal.iter().any(|t| {
+            matches!(
+                (t.from, t.to),
+                (LocalState::PreCommit, LocalState::PreAbort)
+                    | (LocalState::PreAbort, LocalState::PreCommit)
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{fig3_scenario, fig7_scenario, TR};
+    use qbc_core::{FaultyMode, ProtocolKind};
+
+    #[test]
+    fn paper_scenarios_are_clean() {
+        let mut audit = TransitionAudit::default();
+        for p in ProtocolKind::ALL {
+            audit.absorb(&fig3_scenario(p, 1).run(), TxnId(TR));
+        }
+        audit.absorb(&fig7_scenario(FaultyMode::Correct, 1).run(), TxnId(TR));
+        assert!(audit.clean(), "illegal: {:?}", audit.illegal);
+        // The interesting legal edges appear.
+        assert!(audit
+            .counts
+            .keys()
+            .any(|(f, t)| *f == LocalState::Wait && *t == LocalState::PreAbort));
+    }
+
+    #[test]
+    fn faulty_run_crosses_the_wall() {
+        let mut audit = TransitionAudit::default();
+        audit.absorb(
+            &fig7_scenario(FaultyMode::AnswerAcrossWall, 1).run(),
+            TxnId(TR),
+        );
+        assert!(!audit.clean());
+        assert!(audit.crossed_the_wall());
+    }
+}

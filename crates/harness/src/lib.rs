@@ -1,0 +1,35 @@
+//! # qbc-harness — scenarios, failure injection, checkers, sweeps
+//!
+//! The experiment layer: everything needed to regenerate the paper's
+//! examples, figures and comparative claims.
+//!
+//! * [`scenario`] — declarative cluster + workload + failure schedules,
+//!   with per-transaction consistency verdicts, latency and availability
+//!   reports.
+//! * [`paper`] — the exact Fig. 3 (Examples 1/2/4) and Fig. 7
+//!   (Example 3) choreographies.
+//! * [`latency`] — failure-free commit latency and message counts per
+//!   protocol (experiment E7).
+//! * [`montecarlo`] — randomized crash/partition sweeps measuring
+//!   blocking probability, availability and violation rates (E8–E10).
+//! * [`concurrency`] — empirical re-derivation of Fig. 4's concurrency
+//!   sets (E5).
+//! * [`audit`] — Fig. 6 transition-conformance audits (E6).
+//! * [`workload`] — multi-transaction streams: contention, throughput,
+//!   mid-stream failures (E11).
+//! * [`table`] — plain-text table rendering for experiment binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod concurrency;
+pub mod latency;
+pub mod montecarlo;
+pub mod msc;
+pub mod paper;
+pub mod scenario;
+pub mod table;
+pub mod workload;
+
+pub use scenario::{Fault, Scenario, ScenarioOutcome, TxnSubmission, TxnVerdict};

@@ -1,0 +1,486 @@
+//! The lock table: modes, queues, grants and upgrades.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Lock modes of strict two-phase locking.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LockMode {
+    /// Shared (read) lock; compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock; compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Lock compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// True when `self` covers `other` (X covers S).
+    pub fn covers(self, other: LockMode) -> bool {
+        self == LockMode::Exclusive || other == LockMode::Shared
+    }
+}
+
+/// Result of a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request was queued behind incompatible holders.
+    Waiting,
+}
+
+/// A lock that became granted as the result of a release.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Granted<R, T> {
+    /// Resource the lock is on.
+    pub resource: R,
+    /// The transaction now holding it.
+    pub txn: T,
+    /// Mode granted.
+    pub mode: LockMode,
+}
+
+/// Counters describing lock-manager activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub immediate_grants: u64,
+    /// Requests that had to wait.
+    pub waits: u64,
+    /// Grants made when a holder released.
+    pub deferred_grants: u64,
+    /// In-place S→X upgrades.
+    pub upgrades: u64,
+    /// Release operations.
+    pub releases: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Request<T> {
+    txn: T,
+    mode: LockMode,
+    /// True when this is an upgrade request from a current S holder.
+    upgrade: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry<T: Ord> {
+    holders: BTreeMap<T, LockMode>,
+    queue: VecDeque<Request<T>>,
+}
+
+impl<T: Ord + Clone> Entry<T> {
+    fn is_free(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
+    }
+
+    fn can_grant(&self, txn: &T, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| t == txn || m.compatible(LockMode::Shared)),
+            LockMode::Exclusive => self.holders.keys().all(|t| t == txn),
+        }
+    }
+}
+
+/// A per-site lock table over resources `R` held by transactions `T`.
+pub struct LockManager<R, T>
+where
+    R: Ord + Clone,
+    T: Ord + Clone,
+{
+    table: BTreeMap<R, Entry<T>>,
+    stats: LockStats,
+}
+
+impl<R, T> Default for LockManager<R, T>
+where
+    R: Ord + Clone + fmt::Debug,
+    T: Ord + Clone + fmt::Debug,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R, T> LockManager<R, T>
+where
+    R: Ord + Clone + fmt::Debug,
+    T: Ord + Clone + fmt::Debug,
+{
+    /// An empty lock table.
+    pub fn new() -> Self {
+        LockManager {
+            table: BTreeMap::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// The mode `txn` currently holds on `res`, if any.
+    pub fn holds(&self, txn: &T, res: &R) -> Option<LockMode> {
+        self.table.get(res).and_then(|e| e.holders.get(txn)).copied()
+    }
+
+    /// True when any transaction holds any lock on `res`.
+    pub fn is_locked(&self, res: &R) -> bool {
+        self.table
+            .get(res)
+            .map(|e| !e.holders.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Current holders of `res` with their modes.
+    pub fn holders(&self, res: &R) -> Vec<(T, LockMode)> {
+        self.table
+            .get(res)
+            .map(|e| e.holders.iter().map(|(t, m)| (t.clone(), *m)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Transactions queued on `res`, front first.
+    pub fn waiters(&self, res: &R) -> Vec<(T, LockMode)> {
+        self.table
+            .get(res)
+            .map(|e| e.queue.iter().map(|r| (r.txn.clone(), r.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All resources on which `txn` holds a lock.
+    pub fn held_by(&self, txn: &T) -> Vec<(R, LockMode)> {
+        self.table
+            .iter()
+            .filter_map(|(r, e)| e.holders.get(txn).map(|m| (r.clone(), *m)))
+            .collect()
+    }
+
+    /// True when `txn` is waiting on any resource.
+    pub fn is_waiting(&self, txn: &T) -> bool {
+        self.table
+            .values()
+            .any(|e| e.queue.iter().any(|req| &req.txn == txn))
+    }
+
+    /// Requests a lock. Returns [`LockOutcome::Granted`] when the lock is
+    /// held on return; [`LockOutcome::Waiting`] when queued.
+    ///
+    /// Re-entrancy: a transaction already holding a covering mode is
+    /// granted immediately. An S holder requesting X is *upgraded* in
+    /// place when it is the sole holder; otherwise the upgrade waits at
+    /// the front of the queue (classical upgrade priority), preventing
+    /// starvation by later requests.
+    pub fn acquire(&mut self, txn: T, res: R, mode: LockMode) -> LockOutcome {
+        let entry = self.table.entry(res).or_insert_with(|| Entry {
+            holders: BTreeMap::new(),
+            queue: VecDeque::new(),
+        });
+        if let Some(&held) = entry.holders.get(&txn) {
+            if held.covers(mode) {
+                self.stats.immediate_grants += 1;
+                return LockOutcome::Granted;
+            }
+            // S -> X upgrade.
+            if entry.holders.len() == 1 {
+                entry.holders.insert(txn, LockMode::Exclusive);
+                self.stats.upgrades += 1;
+                return LockOutcome::Granted;
+            }
+            // Duplicate upgrade request: keep a single queued entry.
+            if entry
+                .queue
+                .iter()
+                .any(|r| r.txn == txn && r.mode == LockMode::Exclusive)
+            {
+                return LockOutcome::Waiting;
+            }
+            entry.queue.push_front(Request {
+                txn,
+                mode: LockMode::Exclusive,
+                upgrade: true,
+            });
+            self.stats.waits += 1;
+            return LockOutcome::Waiting;
+        }
+        // FIFO fairness: a new request must also wait behind the queue.
+        if entry.queue.is_empty() && entry.can_grant(&txn, mode) {
+            entry.holders.insert(txn, mode);
+            self.stats.immediate_grants += 1;
+            LockOutcome::Granted
+        } else {
+            if entry.queue.iter().any(|r| r.txn == txn) {
+                return LockOutcome::Waiting;
+            }
+            entry.queue.push_back(Request {
+                txn,
+                mode,
+                upgrade: false,
+            });
+            self.stats.waits += 1;
+            LockOutcome::Waiting
+        }
+    }
+
+    /// Releases `txn`'s lock on `res` (and removes any queued request),
+    /// returning locks granted to waiters as a result.
+    pub fn release(&mut self, txn: &T, res: &R) -> Vec<Granted<R, T>> {
+        let mut granted = Vec::new();
+        if let Some(entry) = self.table.get_mut(res) {
+            entry.holders.remove(txn);
+            entry.queue.retain(|r| &r.txn != txn);
+            self.stats.releases += 1;
+            Self::pump(res, entry, &mut granted, &mut self.stats);
+            if entry.is_free() {
+                self.table.remove(res);
+            }
+        }
+        granted
+    }
+
+    /// Releases every lock and queued request of `txn` (commit/abort),
+    /// returning locks granted to waiters as a result.
+    pub fn release_all(&mut self, txn: &T) -> Vec<Granted<R, T>> {
+        let resources: Vec<R> = self
+            .table
+            .iter()
+            .filter(|(_, e)| {
+                e.holders.contains_key(txn) || e.queue.iter().any(|r| &r.txn == txn)
+            })
+            .map(|(r, _)| r.clone())
+            .collect();
+        let mut granted = Vec::new();
+        for res in resources {
+            granted.extend(self.release(txn, &res));
+        }
+        granted
+    }
+
+    /// Grants queued requests that have become compatible (front-first,
+    /// stopping at the first request that cannot be granted).
+    fn pump(res: &R, entry: &mut Entry<T>, granted: &mut Vec<Granted<R, T>>, stats: &mut LockStats) {
+        while let Some(front) = entry.queue.front() {
+            let ok = if front.upgrade {
+                // Upgrade can proceed when the requester is the only holder.
+                entry.holders.len() == 1 && entry.holders.contains_key(&front.txn)
+            } else {
+                entry.can_grant(&front.txn, front.mode)
+            };
+            if !ok {
+                break;
+            }
+            let req = entry.queue.pop_front().expect("front exists");
+            entry.holders.insert(req.txn.clone(), req.mode);
+            stats.deferred_grants += 1;
+            granted.push(Granted {
+                resource: res.clone(),
+                txn: req.txn,
+                mode: req.mode,
+            });
+        }
+    }
+
+    /// Builds the wait-for relation: `waiter -> holder` edges for every
+    /// queued request. Input to deadlock detection.
+    pub fn wait_for_edges(&self) -> Vec<(T, T)> {
+        let mut edges = Vec::new();
+        for entry in self.table.values() {
+            for req in &entry.queue {
+                for holder in entry.holders.keys() {
+                    if holder != &req.txn {
+                        edges.push((req.txn.clone(), holder.clone()));
+                    }
+                }
+                // A queued request also waits for earlier queued requests
+                // that conflict with it (they will be granted first).
+                for earlier in &entry.queue {
+                    if std::ptr::eq(earlier, req) {
+                        break;
+                    }
+                    if earlier.txn != req.txn && !earlier.mode.compatible(req.mode) {
+                        edges.push((req.txn.clone(), earlier.txn.clone()));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// All transactions appearing in the table (holders or waiters).
+    pub fn transactions(&self) -> BTreeSet<T> {
+        let mut out = BTreeSet::new();
+        for e in self.table.values() {
+            out.extend(e.holders.keys().cloned());
+            out.extend(e.queue.iter().map(|r| r.txn.clone()));
+        }
+        out
+    }
+
+    /// Invariant check used by tests: no two incompatible holders coexist.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (res, e) in &self.table {
+            let modes: Vec<&LockMode> = e.holders.values().collect();
+            let exclusives = modes
+                .iter()
+                .filter(|m| ***m == LockMode::Exclusive)
+                .count();
+            if exclusives > 0 && e.holders.len() > 1 {
+                return Err(format!(
+                    "resource {res:?} has {} holders alongside an X lock",
+                    e.holders.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Lm = LockManager<&'static str, u32>;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = Lm::new();
+        assert_eq!(lm.acquire(1, "x", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(2, "x", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.holders(&"x").len(), 2);
+        lm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_conflicts_queue_fifo() {
+        let mut lm = Lm::new();
+        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(2, "x", LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(3, "x", LockMode::Exclusive), LockOutcome::Waiting);
+        let granted = lm.release_all(&1);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].txn, 2, "FIFO: txn 2 first");
+        let granted = lm.release_all(&2);
+        assert_eq!(granted[0].txn, 3);
+    }
+
+    #[test]
+    fn shared_behind_exclusive_waits() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Exclusive);
+        assert_eq!(lm.acquire(2, "x", LockMode::Shared), LockOutcome::Waiting);
+        let granted = lm.release_all(&1);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(lm.holds(&2, &"x"), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn batch_of_shared_grants_together() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Exclusive);
+        lm.acquire(2, "x", LockMode::Shared);
+        lm.acquire(3, "x", LockMode::Shared);
+        let granted = lm.release_all(&1);
+        assert_eq!(granted.len(), 2, "both shared waiters granted at once");
+        lm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fifo_blocks_new_shared_behind_queued_exclusive() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Shared);
+        lm.acquire(2, "x", LockMode::Exclusive); // queued
+        // A later shared request must not jump over the queued X.
+        assert_eq!(lm.acquire(3, "x", LockMode::Shared), LockOutcome::Waiting);
+        let granted = lm.release_all(&1);
+        assert_eq!(granted[0].txn, 2);
+        assert_eq!(granted.len(), 1);
+    }
+
+    #[test]
+    fn reentrant_acquire_is_granted() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Exclusive);
+        assert_eq!(lm.acquire(1, "x", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.holds(&1, &"x"), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn sole_holder_upgrade_is_immediate() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Shared);
+        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.holds(&1, &"x"), Some(LockMode::Exclusive));
+        assert_eq!(lm.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn contended_upgrade_waits_with_priority() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Shared);
+        lm.acquire(2, "x", LockMode::Shared);
+        lm.acquire(3, "x", LockMode::Exclusive); // queued behind both
+        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Waiting);
+        // When txn 2 releases, the upgrade (front of queue) wins over txn 3.
+        let granted = lm.release_all(&2);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].txn, 1);
+        assert_eq!(granted[0].mode, LockMode::Exclusive);
+        assert_eq!(lm.holds(&1, &"x"), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn release_all_drops_queued_requests_too() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Exclusive);
+        lm.acquire(2, "x", LockMode::Exclusive);
+        assert!(lm.is_waiting(&2));
+        lm.release_all(&2); // abort the waiter
+        assert!(!lm.is_waiting(&2));
+        let granted = lm.release_all(&1);
+        assert!(granted.is_empty(), "no waiter left to grant");
+        assert!(!lm.is_locked(&"x"));
+    }
+
+    #[test]
+    fn wait_for_edges_point_at_holders_and_earlier_waiters() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Exclusive);
+        lm.acquire(2, "x", LockMode::Exclusive);
+        lm.acquire(3, "x", LockMode::Exclusive);
+        let edges = lm.wait_for_edges();
+        assert!(edges.contains(&(2, 1)));
+        assert!(edges.contains(&(3, 1)));
+        assert!(edges.contains(&(3, 2)), "3 waits for earlier waiter 2");
+    }
+
+    #[test]
+    fn held_by_lists_resources() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Shared);
+        lm.acquire(1, "y", LockMode::Exclusive);
+        let mut held = lm.held_by(&1);
+        held.sort();
+        assert_eq!(
+            held,
+            vec![("x", LockMode::Shared), ("y", LockMode::Exclusive)]
+        );
+    }
+
+    #[test]
+    fn empty_entries_are_garbage_collected() {
+        let mut lm = Lm::new();
+        lm.acquire(1, "x", LockMode::Shared);
+        lm.release_all(&1);
+        assert!(lm.transactions().is_empty());
+        assert!(!lm.is_locked(&"x"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Wait-for-graph deadlock detection.
+//!
+//! Edges `a -> b` mean "transaction `a` waits for transaction `b`".
+//! Cycles are deadlocks; [`pick_victims`] chooses one transaction per
+//! cycle (the largest id — deterministically the "youngest" under
+//! monotonically assigned ids) for the caller to abort.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Adjacency-list wait-for graph.
+#[derive(Clone, Debug, Default)]
+pub struct WaitForGraph<T: Ord + Clone> {
+    edges: BTreeMap<T, BTreeSet<T>>,
+}
+
+impl<T: Ord + Clone> WaitForGraph<T> {
+    /// Builds the graph from an edge list.
+    pub fn from_edges(edges: &[(T, T)]) -> Self {
+        let mut g = WaitForGraph {
+            edges: BTreeMap::new(),
+        };
+        for (a, b) in edges {
+            g.edges.entry(a.clone()).or_default().insert(b.clone());
+        }
+        g
+    }
+
+    /// Successors of `t`.
+    pub fn waits_for(&self, t: &T) -> impl Iterator<Item = &T> {
+        self.edges.get(t).into_iter().flatten()
+    }
+
+    /// All nodes with at least one outgoing edge.
+    pub fn waiters(&self) -> impl Iterator<Item = &T> {
+        self.edges.keys()
+    }
+
+    /// Finds elementary cycles reachable in the graph. Returns each cycle
+    /// as the list of transactions on it (in discovery order). Cycles
+    /// sharing nodes may be reported once.
+    pub fn cycles(&self) -> Vec<Vec<T>> {
+        // Iterative DFS with colors: white=unvisited, grey=on stack,
+        // black=done. A grey->grey edge closes a cycle.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: BTreeMap<&T, Color> = BTreeMap::new();
+        let nodes: BTreeSet<&T> = self
+            .edges
+            .iter()
+            .flat_map(|(a, bs)| std::iter::once(a).chain(bs.iter()))
+            .collect();
+        for &n in &nodes {
+            color.insert(n, Color::White);
+        }
+        let mut cycles: Vec<Vec<T>> = Vec::new();
+        for &start in &nodes {
+            if color[start] != Color::White {
+                continue;
+            }
+            // stack of (node, successor iterator position)
+            let mut path: Vec<&T> = Vec::new();
+            let mut stack: Vec<(&T, Vec<&T>)> = vec![(
+                start,
+                self.edges
+                    .get(start)
+                    .map(|s| s.iter().collect())
+                    .unwrap_or_default(),
+            )];
+            color.insert(start, Color::Grey);
+            path.push(start);
+            while let Some((node, succs)) = stack.last_mut() {
+                if let Some(next) = succs.pop() {
+                    match color[next] {
+                        Color::White => {
+                            color.insert(next, Color::Grey);
+                            path.push(next);
+                            let nexts = self
+                                .edges
+                                .get(next)
+                                .map(|s| s.iter().collect())
+                                .unwrap_or_default();
+                            stack.push((next, nexts));
+                        }
+                        Color::Grey => {
+                            // Found a cycle: the suffix of `path` from `next`.
+                            if let Some(pos) = path.iter().position(|&p| p == next) {
+                                cycles.push(path[pos..].iter().map(|&p| p.clone()).collect());
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        cycles
+    }
+}
+
+/// Convenience: build the graph and return its cycles.
+pub fn detect_cycles<T: Ord + Clone>(edges: &[(T, T)]) -> Vec<Vec<T>> {
+    WaitForGraph::from_edges(edges).cycles()
+}
+
+/// Deterministic victim selection: the maximum transaction id on each
+/// cycle (one victim per cycle, deduplicated).
+pub fn pick_victims<T: Ord + Clone>(cycles: &[Vec<T>]) -> BTreeSet<T> {
+    cycles
+        .iter()
+        .filter_map(|c| c.iter().max().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cycle_detected() {
+        let cycles = detect_cycles(&[(1, 2), (2, 1)]);
+        assert_eq!(cycles.len(), 1);
+        let c: BTreeSet<i32> = cycles[0].iter().copied().collect();
+        assert_eq!(c, [1, 2].into());
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let cycles = detect_cycles(&[(1, 2), (2, 3), (1, 3)]);
+        assert!(cycles.is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        // Should not happen in a lock manager (re-entrancy is granted)
+        // but the detector must be robust to it.
+        let cycles = detect_cycles(&[(7, 7)]);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![7]);
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let cycles = detect_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 5);
+    }
+
+    #[test]
+    fn victim_is_max_id() {
+        let cycles = vec![vec![3, 9, 1]];
+        let v = pick_victims(&cycles);
+        assert_eq!(v, [9].into());
+    }
+
+    #[test]
+    fn disjoint_cycles_yield_distinct_victims() {
+        let cycles = detect_cycles(&[(1, 2), (2, 1), (5, 6), (6, 5)]);
+        assert_eq!(cycles.len(), 2);
+        let v = pick_victims(&cycles);
+        assert_eq!(v, [2, 6].into());
+    }
+
+    #[test]
+    fn waits_for_accessor() {
+        let g = WaitForGraph::from_edges(&[(1, 2), (1, 3)]);
+        let succ: Vec<&i32> = g.waits_for(&1).collect();
+        assert_eq!(succ, vec![&2, &3]);
+        assert_eq!(g.waiters().count(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! # qbc-storage — per-site stable storage
+//!
+//! The durability substrate beneath the commit protocols: a force-written
+//! [`Wal`] (what a participant knows after recovering is exactly what it
+//! logged before crashing), a [`VersionedStore`] implementing Gifford's
+//! version-number currency rule, and [`SiteStorage`] combining both with
+//! crash/incarnation semantics.
+//!
+//! Substitution note (DESIGN.md §2): the paper assumes disk-based stable
+//! storage; we model it in memory with an explicit durable/volatile
+//! split. The protocols depend only on the durability contract — a
+//! logged record survives any crash, an unlogged state does not — which
+//! this crate preserves exactly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod site;
+mod store;
+mod wal;
+
+pub use site::SiteStorage;
+pub use store::{StoreError, VersionedStore};
+pub use wal::{Lsn, Wal};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qbc_votes::{ItemId, Version};
+
+    proptest! {
+        /// Replay returns exactly the appended sequence, in order, for
+        /// any append pattern interleaved with crashes.
+        #[test]
+        fn replay_is_exact_history(
+            ops in proptest::collection::vec((0u8..3, 0u32..100), 0..60)
+        ) {
+            let mut st: SiteStorage<u32, i64> = SiteStorage::new();
+            let mut expected = Vec::new();
+            for (kind, val) in ops {
+                match kind {
+                    0 | 1 => {
+                        st.log(val);
+                        expected.push(val);
+                    }
+                    _ => st.crash(),
+                }
+            }
+            let replayed: Vec<u32> = st.wal().replay().map(|(_, r)| *r).collect();
+            prop_assert_eq!(replayed, expected);
+        }
+
+        /// The store never goes backwards: after any sequence of applies,
+        /// the stored version equals the maximum successfully applied.
+        #[test]
+        fn versions_are_monotone(
+            versions in proptest::collection::vec(1u64..50, 1..40)
+        ) {
+            let mut st: SiteStorage<u32, u64> = SiteStorage::new();
+            st.initialize_item(ItemId(0), 0);
+            let mut high = 0u64;
+            for v in versions {
+                let res = st.apply_update(ItemId(0), Version(v), v);
+                if v > high {
+                    prop_assert!(res.is_ok());
+                    high = v;
+                } else {
+                    prop_assert!(res.is_err());
+                }
+                prop_assert_eq!(st.item_version(ItemId(0)), Some(Version(high)));
+            }
+        }
+    }
+}

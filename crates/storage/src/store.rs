@@ -1,0 +1,149 @@
+//! Versioned item store.
+//!
+//! Each site durably stores the copies it replicates, tagged with
+//! Gifford version numbers: "Version numbers are used to identify the
+//! most recent copy" (paper, §2). Writes carry the version computed by
+//! the writing transaction (max version read + 1); the store rejects
+//! regressions, making replica divergence detectable.
+
+use qbc_votes::{ItemId, Version};
+use std::collections::BTreeMap;
+
+/// Error applying a versioned write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An update carried a version not newer than the stored copy.
+    VersionRegression {
+        /// Item being written.
+        item: ItemId,
+        /// Version currently stored.
+        stored: Version,
+        /// Version offered by the write.
+        offered: Version,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::VersionRegression {
+                item,
+                stored,
+                offered,
+            } => write!(
+                f,
+                "version regression on {item}: stored {stored:?}, offered {offered:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A durable map from item to `(version, value)` for the copies a site
+/// replicates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionedStore<V> {
+    copies: BTreeMap<ItemId, (Version, V)>,
+}
+
+impl<V: Clone> VersionedStore<V> {
+    /// An empty store.
+    pub fn new() -> Self {
+        VersionedStore {
+            copies: BTreeMap::new(),
+        }
+    }
+
+    /// Initialises a copy at `Version::INITIAL` (database load time).
+    pub fn initialize(&mut self, item: ItemId, value: V) {
+        self.copies.insert(item, (Version::INITIAL, value));
+    }
+
+    /// The stored `(version, value)` of an item, if this site has a copy.
+    pub fn read(&self, item: ItemId) -> Option<(Version, &V)> {
+        self.copies.get(&item).map(|(v, val)| (*v, val))
+    }
+
+    /// The stored version only.
+    pub fn version(&self, item: ItemId) -> Option<Version> {
+        self.copies.get(&item).map(|(v, _)| *v)
+    }
+
+    /// Applies a committed write. The offered version must exceed the
+    /// stored one (write quorums make concurrent equal versions
+    /// impossible; a regression indicates a protocol bug).
+    pub fn apply(&mut self, item: ItemId, version: Version, value: V) -> Result<(), StoreError> {
+        match self.copies.get(&item) {
+            Some((stored, _)) if *stored >= version => Err(StoreError::VersionRegression {
+                item,
+                stored: *stored,
+                offered: version,
+            }),
+            _ => {
+                self.copies.insert(item, (version, value));
+                Ok(())
+            }
+        }
+    }
+
+    /// Items this site holds copies of.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.copies.keys().copied()
+    }
+
+    /// Number of copies stored.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// True when no copies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialize_and_read() {
+        let mut s = VersionedStore::new();
+        s.initialize(ItemId(1), 100i64);
+        assert_eq!(s.read(ItemId(1)), Some((Version::INITIAL, &100)));
+        assert_eq!(s.read(ItemId(2)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn apply_advances_version() {
+        let mut s = VersionedStore::new();
+        s.initialize(ItemId(1), 0i64);
+        s.apply(ItemId(1), Version(1), 5).unwrap();
+        assert_eq!(s.read(ItemId(1)), Some((Version(1), &5)));
+        assert_eq!(s.version(ItemId(1)), Some(Version(1)));
+    }
+
+    #[test]
+    fn regression_rejected() {
+        let mut s = VersionedStore::new();
+        s.initialize(ItemId(1), 0i64);
+        s.apply(ItemId(1), Version(3), 5).unwrap();
+        let err = s.apply(ItemId(1), Version(3), 9).unwrap_err();
+        assert!(matches!(err, StoreError::VersionRegression { .. }));
+        let err = s.apply(ItemId(1), Version(2), 9).unwrap_err();
+        assert!(matches!(err, StoreError::VersionRegression { .. }));
+        // Value unchanged.
+        assert_eq!(s.read(ItemId(1)), Some((Version(3), &5)));
+    }
+
+    #[test]
+    fn apply_to_missing_item_creates_copy() {
+        // A site may receive a copy it did not originally host (e.g. on
+        // catalog extension); apply installs it.
+        let mut s = VersionedStore::new();
+        s.apply(ItemId(9), Version(4), "v").unwrap();
+        assert_eq!(s.read(ItemId(9)), Some((Version(4), &"v")));
+    }
+}

@@ -1,0 +1,126 @@
+//! Write-ahead log.
+//!
+//! Commit protocols are defined by what survives a crash: a participant
+//! that answered an ack must still know, after recovering, that it did.
+//! The WAL models force-written stable storage — every [`Wal::append`]
+//! is durable at return. The in-memory representation is a substitution
+//! for a disk log (see DESIGN.md §2): the protocols depend only on the
+//! *durability contract*, which `crash()`/`replay()` preserve exactly.
+
+use std::fmt;
+
+/// Log sequence number: position of a record in the log, starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lsn(pub u64);
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn{}", self.0)
+    }
+}
+
+/// An append-only, force-written log of records `R`.
+#[derive(Clone, Debug)]
+pub struct Wal<R> {
+    records: Vec<R>,
+}
+
+impl<R> Default for Wal<R> {
+    fn default() -> Self {
+        Wal {
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<R: Clone> Wal<R> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Force-appends a record; durable on return.
+    pub fn append(&mut self, record: R) -> Lsn {
+        let lsn = Lsn(self.records.len() as u64);
+        self.records.push(record);
+        lsn
+    }
+
+    /// Number of records in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Replays the log from the beginning (recovery).
+    pub fn replay(&self) -> impl Iterator<Item = (Lsn, &R)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Lsn(i as u64), r))
+    }
+
+    /// Replays records at or after `from`.
+    pub fn replay_from(&self, from: Lsn) -> impl Iterator<Item = (Lsn, &R)> {
+        self.replay().filter(move |(l, _)| *l >= from)
+    }
+
+    /// The most recent record, if any.
+    pub fn last(&self) -> Option<&R> {
+        self.records.last()
+    }
+
+    /// The record at `lsn`.
+    pub fn get(&self, lsn: Lsn) -> Option<&R> {
+        self.records.get(lsn.0 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_returns_consecutive_lsns() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.append("a"), Lsn(0));
+        assert_eq!(wal.append("b"), Lsn(1));
+        assert_eq!(wal.len(), 2);
+        assert!(!wal.is_empty());
+    }
+
+    #[test]
+    fn replay_preserves_order() {
+        let mut wal = Wal::new();
+        for r in ["x", "y", "z"] {
+            wal.append(r);
+        }
+        let replayed: Vec<&str> = wal.replay().map(|(_, r)| *r).collect();
+        assert_eq!(replayed, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn replay_from_skips_prefix() {
+        let mut wal = Wal::new();
+        for r in 0..5 {
+            wal.append(r);
+        }
+        let tail: Vec<i32> = wal.replay_from(Lsn(3)).map(|(_, r)| *r).collect();
+        assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn last_and_get() {
+        let mut wal = Wal::new();
+        assert!(wal.last().is_none());
+        wal.append(10);
+        wal.append(20);
+        assert_eq!(wal.last(), Some(&20));
+        assert_eq!(wal.get(Lsn(0)), Some(&10));
+        assert_eq!(wal.get(Lsn(9)), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate property tests: atomic commitment under randomized
+//! failure schedules (the paper's Theorem 1, empirically).
+
+use proptest::prelude::*;
+use quorum_commit::core::{ProtocolKind, Transition, TxnId};
+use quorum_commit::harness::montecarlo::{random_failure_scenario, MonteCarloConfig};
+
+/// Protocols that must never terminate inconsistently, no matter the
+/// failure schedule (2PC may block; Skeen/QC1/QC2 may block less).
+const SAFE: [ProtocolKind; 4] = [
+    ProtocolKind::TwoPhase,
+    ProtocolKind::SkeenQuorum,
+    ProtocolKind::QuorumCommit1,
+    ProtocolKind::QuorumCommit2,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    /// Theorem 1: under concurrent site failures and partitioning, all
+    /// participants that terminate, terminate the same way.
+    #[test]
+    fn no_mixed_decisions_under_random_failures(
+        seed in 0u64..10_000,
+        components in 2usize..5,
+        protocol_idx in 0usize..4,
+    ) {
+        let protocol = SAFE[protocol_idx];
+        let cfg = MonteCarloConfig {
+            components,
+            run_until: 3_000,
+            ..Default::default()
+        };
+        let out = random_failure_scenario(protocol, &cfg, seed).run();
+        let v = out.verdict(TxnId(1));
+        prop_assert!(
+            v.consistent,
+            "{} terminated inconsistently (seed {seed}): {v:?}",
+            protocol.name()
+        );
+        for (site, node) in out.sim.nodes() {
+            prop_assert!(
+                node.violations().is_empty(),
+                "violations at {site}: {:?}",
+                node.violations()
+            );
+        }
+    }
+
+    /// Fig. 6 conformance: every state transition taken in randomized
+    /// runs is legal — in particular no participant ever crosses
+    /// between PC and PA.
+    #[test]
+    fn all_transitions_legal_under_random_failures(
+        seed in 0u64..10_000,
+        components in 1usize..5,
+        protocol_idx in 0usize..4,
+    ) {
+        let protocol = SAFE[protocol_idx];
+        let cfg = MonteCarloConfig {
+            components,
+            run_until: 3_000,
+            ..Default::default()
+        };
+        let out = random_failure_scenario(protocol, &cfg, seed).run();
+        for (site, node) in out.sim.nodes() {
+            let transitions = node.transitions(TxnId(1));
+            for t in &transitions {
+                prop_assert!(
+                    Transition::is_legal(t),
+                    "illegal transition {:?} at {site} under {} (seed {seed})",
+                    t,
+                    protocol.name()
+                );
+            }
+        }
+    }
+
+    /// Liveness through healing: when the partition heals, the crashed
+    /// coordinator recovers, and retries continue, every participant
+    /// eventually decides — consistently. (Coordinator recovery matters
+    /// for 2PC: with the coordinator dead forever, 2PC blocks by design
+    /// — that is the paper's motivating flaw.)
+    #[test]
+    fn healing_terminates_every_participant(
+        seed in 0u64..10_000,
+        protocol_idx in 0usize..4,
+    ) {
+        let protocol = SAFE[protocol_idx];
+        let cfg = MonteCarloConfig {
+            components: 3,
+            heal_at: Some(1_200),
+            recover_at: Some(1_500),
+            run_until: 12_000,
+            ..Default::default()
+        };
+        let out = random_failure_scenario(protocol, &cfg, seed).run();
+        let v = out.verdict(TxnId(1));
+        prop_assert!(v.consistent, "inconsistent after heal: {v:?}");
+        prop_assert!(
+            v.undecided.is_empty(),
+            "{} left {:?} undecided after heal (seed {seed})",
+            protocol.name(),
+            v.undecided
+        );
+    }
+}
+
+/// 3PC's termination protocol is only safe for site failures: with
+/// `components = 1` (crash only, no partition) randomized runs must all
+/// stay consistent.
+#[test]
+fn three_pc_is_safe_without_partitions() {
+    let cfg = MonteCarloConfig {
+        components: 1,
+        crash_coordinator: true,
+        run_until: 3_000,
+        ..Default::default()
+    };
+    for seed in 0..60u64 {
+        let out = random_failure_scenario(ProtocolKind::ThreePhase, &cfg, seed).run();
+        let v = out.verdict(TxnId(1));
+        assert!(v.consistent, "3PC must be safe under pure site failures: {v:?}");
+        assert!(
+            v.undecided.is_empty(),
+            "3PC must be nonblocking under site failures: {v:?}"
+        );
+    }
+}
