@@ -34,11 +34,7 @@ fn bench_participant(c: &mut Criterion) {
     c.bench_function("participant/vote_req", |b| {
         b.iter(|| {
             let mut p = Participant::new(SiteId(1), TxnId(1), ParticipantConfig::default());
-            black_box(p.on_msg(
-                SiteId(0),
-                &Msg::VoteReq { spec: sp.clone() },
-                Version(0),
-            ))
+            black_box(p.on_msg(SiteId(0), &Msg::VoteReq { spec: sp.clone() }, Version(0)))
         })
     });
     c.bench_function("participant/full_commit_path", |b| {
@@ -94,21 +90,16 @@ fn bench_rules(c: &mut Criterion) {
     for (n_items, copies) in [(2u32, 4u32), (8, 4), (16, 8)] {
         let cat = catalog(n_items, copies);
         let sp = spec(&cat, n_items, ProtocolKind::QuorumCommit1);
-        let view = StateView::from_pairs(
-            sp.participants
-                .iter()
-                .enumerate()
-                .map(|(i, &s)| {
-                    (
-                        s,
-                        if i % 3 == 0 {
-                            LocalState::PreCommit
-                        } else {
-                            LocalState::Wait
-                        },
-                    )
-                }),
-        );
+        let view = StateView::from_pairs(sp.participants.iter().enumerate().map(|(i, &s)| {
+            (
+                s,
+                if i % 3 == 0 {
+                    LocalState::PreCommit
+                } else {
+                    LocalState::Wait
+                },
+            )
+        }));
         for kind in [TerminationKind::Tp1, TerminationKind::Tp2] {
             c.bench_function(
                 &format!("rules/phase2/{}/{n_items}x{copies}", kind.name()),

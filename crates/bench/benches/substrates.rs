@@ -104,7 +104,15 @@ fn bench_simnet(c: &mut Criterion) {
             };
             let mut sim = Sim::new(
                 cfg,
-                (0..8u32).map(|i| (SiteId(i), Pinger { n: 8, left: 10_000 / 8 })),
+                (0..8u32).map(|i| {
+                    (
+                        SiteId(i),
+                        Pinger {
+                            n: 8,
+                            left: 10_000 / 8,
+                        },
+                    )
+                }),
             );
             black_box(sim.run_to_quiescence(20_000))
         })
@@ -122,8 +130,9 @@ fn bench_election(c: &mut Criterion) {
         b.iter(|| {
             // Drive a full cascade by hand: lowest starts, everyone
             // higher answers and runs its own election.
-            let mut electors: Vec<Elector> =
-                (0..32u32).map(|i| Elector::new(SiteId(i), sites(32))).collect();
+            let mut electors: Vec<Elector> = (0..32u32)
+                .map(|i| Elector::new(SiteId(i), sites(32)))
+                .collect();
             let mut outputs = electors[0].step(ElInput::Start);
             let mut hops = 0;
             while let Some(qbc_election::Action::Send { to, msg }) = outputs.pop() {
@@ -132,10 +141,7 @@ fn bench_election(c: &mut Criterion) {
                     break;
                 }
                 let from = SiteId(0);
-                let more = electors[to.0 as usize].step(ElInput::Msg {
-                    from,
-                    msg,
-                });
+                let more = electors[to.0 as usize].step(ElInput::Msg { from, msg });
                 outputs.extend(more);
             }
             black_box(hops)
@@ -143,5 +149,11 @@ fn bench_election(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_locks, bench_wal, bench_simnet, bench_election);
+criterion_group!(
+    benches,
+    bench_locks,
+    bench_wal,
+    bench_simnet,
+    bench_election
+);
 criterion_main!(benches);

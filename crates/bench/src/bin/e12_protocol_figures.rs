@@ -57,7 +57,11 @@ fn main() {
     println!("(four sites, one item with copies everywhere, r=2, w=3, constant T)\n");
     for (p, variable, fig) in [
         (ProtocolKind::TwoPhase, false, "Fig. 1 — two-phase commit"),
-        (ProtocolKind::ThreePhase, false, "Fig. 2 — three-phase commit"),
+        (
+            ProtocolKind::ThreePhase,
+            false,
+            "Fig. 2 — three-phase commit",
+        ),
         (
             ProtocolKind::QuorumCommit1,
             true,

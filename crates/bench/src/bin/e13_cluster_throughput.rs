@@ -1,0 +1,112 @@
+//! E13 — cluster throughput under group commit.
+//!
+//! Gray & Lamport ("Consensus on Transaction Commit") observe that
+//! commit cost is dominated by log forces and message rounds. This
+//! experiment drives the sharded cluster runtime with many concurrent
+//! client sessions over a log device whose force costs real (virtual)
+//! time, and compares per-record forcing against group-commit batching.
+//!
+//! Expected shape: at low concurrency the two are close (little to
+//! batch); at high concurrency the serial log device saturates under
+//! per-record forcing while group commit amortizes one force over many
+//! records, keeping committed throughput up — the acceptance bar is
+//! **≥ 2× committed transactions per kilotick at 64 clients**.
+
+use qbc_cluster::ClusterConfig;
+use qbc_harness::cluster_load::{run_cluster_load, ClusterLoadConfig, ClusterLoadReport};
+use qbc_harness::table::Table;
+use qbc_simnet::Duration;
+
+const FORCE_LATENCY: u64 = 6;
+
+fn load(clients: u32, think_time: u64, group_commit: bool) -> ClusterLoadConfig {
+    let mut cluster = ClusterConfig {
+        shards: 4,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 48,
+        seed: 13,
+        force_latency: Duration(FORCE_LATENCY),
+        ..Default::default()
+    };
+    if group_commit {
+        cluster = cluster.with_group_commit();
+    }
+    ClusterLoadConfig {
+        cluster,
+        clients,
+        txns_per_client: 4,
+        items_per_txn: 2,
+        think_time,
+        seed: 13,
+    }
+}
+
+fn row(t: &mut Table, name: &str, r: &ClusterLoadReport) {
+    assert!(r.consistent, "{name}: cluster went inconsistent");
+    t.row(&[
+        &name,
+        &r.submitted,
+        &r.committed,
+        &r.aborted,
+        &r.undecided,
+        &format!("{:.1}", r.mean_latency),
+        &r.wal_forces,
+        &format!("{:.2}", r.committed_per_kilotick),
+    ]);
+}
+
+fn main() {
+    println!("E13 — sharded cluster throughput: per-record forcing vs group commit");
+    println!(
+        "(4 shards x 3 sites, 48 items/shard, QC2, force latency {FORCE_LATENCY} ticks, \
+         4 txns/client, 2 items/txn)\n"
+    );
+
+    let mut ratio_at_64 = 0.0;
+    // Think time shrinks as concurrency grows: each row offers a harder
+    // aggregate load, not just more clients submitting the same stream.
+    for (clients, think_time) in [(8u32, 200u64), (64, 60), (96, 60)] {
+        println!("--- {clients} concurrent clients (think {think_time}) ---");
+        let mut t = Table::new(&[
+            "force policy",
+            "submitted",
+            "committed",
+            "aborted",
+            "undecided",
+            "mean lat",
+            "forces",
+            "commits/kilotick",
+        ]);
+        let plain = run_cluster_load(&load(clients, think_time, false));
+        let batched = run_cluster_load(&load(clients, think_time, true));
+        row(&mut t, "per-record", &plain);
+        row(&mut t, "group-commit", &batched);
+        println!("{t}");
+        let ratio = if plain.committed_per_kilotick > 0.0 {
+            batched.committed_per_kilotick / plain.committed_per_kilotick
+        } else {
+            f64::INFINITY
+        };
+        let batching = batched
+            .metrics
+            .shards
+            .iter()
+            .map(|s| s.records_per_force())
+            .fold(0.0f64, f64::max);
+        println!(
+            "speedup x{ratio:.2}   (batched: up to {batching:.1} records/force, \
+             forces {} -> {})\n",
+            plain.wal_forces, batched.wal_forces
+        );
+        if clients == 64 {
+            ratio_at_64 = ratio;
+        }
+    }
+
+    assert!(
+        ratio_at_64 >= 2.0,
+        "group commit must deliver >=2x committed throughput at 64 clients, got x{ratio_at_64:.2}"
+    );
+    println!("acceptance: group commit x{ratio_at_64:.2} >= x2.0 at 64 clients — OK");
+}

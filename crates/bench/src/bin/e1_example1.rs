@@ -32,9 +32,7 @@ fn main() {
     println!("{report}");
     let x_anywhere = report.readable_somewhere(ITEM_X) || report.writable_somewhere(ITEM_X);
     let y_anywhere = report.readable_somewhere(ITEM_Y) || report.writable_somewhere(ITEM_Y);
-    println!(
-        "x accessible anywhere: {x_anywhere}   y accessible anywhere: {y_anywhere}"
-    );
+    println!("x accessible anywhere: {x_anywhere}   y accessible anywhere: {y_anywhere}");
     println!(
         "\npaper expectation: TR blocked in all partitions, zero accessibility -> {}",
         if v.committed.is_empty() && v.aborted.is_empty() && !x_anywhere && !y_anywhere {

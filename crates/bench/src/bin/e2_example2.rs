@@ -22,10 +22,7 @@ fn main() {
         t.row(&[&site, &d]);
     }
     println!("{t}");
-    println!(
-        "committed at {:?}, aborted at {:?}",
-        v.committed, v.aborted
-    );
+    println!("committed at {:?}, aborted at {:?}", v.committed, v.aborted);
     println!(
         "\npaper expectation: G2 = {{s4,s5}} commits, G1/G3 abort — INCONSISTENT -> {}",
         if !v.consistent

@@ -14,7 +14,14 @@ fn main() {
     let out = fig3_scenario(ProtocolKind::QuorumCommit1, 1).run();
     let v = out.verdict(TxnId(TR));
 
-    let mut t = Table::new(&["partition", "TR outcome", "x read", "x write", "y read", "y write"]);
+    let mut t = Table::new(&[
+        "partition",
+        "TR outcome",
+        "x read",
+        "x write",
+        "y read",
+        "y write",
+    ]);
     let cat = example_catalog();
     let report = out.availability(&cat);
     for (i, comp) in out.live_components().iter().enumerate() {

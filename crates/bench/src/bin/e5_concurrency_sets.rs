@@ -30,11 +30,7 @@ fn main() {
         } else {
             "MISSING"
         };
-        let witness = rel
-            .witnesses
-            .get(&(*a, *b))
-            .cloned()
-            .unwrap_or_default();
+        let witness = rel.witnesses.get(&(*a, *b)).cloned().unwrap_or_default();
         t.row(&[&format!("{a} ∈ C({b})"), &status, &witness]);
     }
     println!("{t}");

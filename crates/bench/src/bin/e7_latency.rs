@@ -16,12 +16,7 @@ fn main() {
 
     for (r, w, label) in [(2u32, 6u32, "write-skewed r=2"), (3, 5, "balanced r=3")] {
         println!("--- 7 sites, {label}, w={w} ---");
-        let mut t = Table::new(&[
-            "protocol",
-            "client latency",
-            "global latency",
-            "messages",
-        ]);
+        let mut t = Table::new(&["protocol", "client latency", "global latency", "messages"]);
         for p in ProtocolKind::ALL {
             // Skeen's site votes are chosen internally by `measure`
             // (majority); the per-item quorums apply to every protocol.
@@ -48,11 +43,7 @@ fn main() {
         .into_iter()
         .map(|p| format!("{:.1}", measure(p, n, 2, n - 1, 0..30).coordinator_latency))
         .collect();
-        t.row_strings(
-            std::iter::once(n.to_string())
-                .chain(row)
-                .collect(),
-        );
+        t.row_strings(std::iter::once(n.to_string()).chain(row).collect());
     }
     println!("{t}");
 

@@ -1,0 +1,147 @@
+//! Cluster-wide configuration.
+
+use qbc_core::ProtocolKind;
+use qbc_simnet::Duration;
+
+/// Shape and tuning of a sharded cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of shards. Each shard is an independent replica group
+    /// running its own commit protocol instances.
+    pub shards: u32,
+    /// Sites per shard. Site ids are allocated contiguously:
+    /// shard `k` owns sites `k*sites_per_shard .. (k+1)*sites_per_shard`.
+    pub sites_per_shard: u32,
+    /// Copies per item (placed round-robin within the shard's sites);
+    /// must not exceed `sites_per_shard`.
+    pub replication: u32,
+    /// Items per shard. Global ids are contiguous per shard: shard `k`
+    /// owns items `k*items_per_shard .. (k+1)*items_per_shard`.
+    pub items_per_shard: u32,
+    /// Read quorum per item (votes; copies carry one vote each).
+    pub read_quorum: u32,
+    /// Write quorum per item.
+    pub write_quorum: u32,
+    /// Commit protocol every transaction runs.
+    pub protocol: ProtocolKind,
+    /// Longest end-to-end network delay `T`; protocol timeouts derive
+    /// from it.
+    pub t_bound: Duration,
+    /// RNG seed of the deterministic substrate.
+    pub seed: u64,
+    /// Enable group-commit batching at every site
+    /// (see [`qbc_db::NodeConfig::group_commit`]).
+    pub group_commit: bool,
+    /// Batch window; `None` keeps the per-node default (`T/2`).
+    pub group_commit_window: Option<Duration>,
+    /// Force a batch early at this many staged records.
+    pub group_commit_max_batch: usize,
+    /// Simulated latency of one WAL force (serial log device).
+    pub force_latency: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 2,
+            sites_per_shard: 3,
+            replication: 3,
+            items_per_shard: 8,
+            read_quorum: 2,
+            write_quorum: 2,
+            protocol: ProtocolKind::QuorumCommit2,
+            t_bound: Duration(10),
+            seed: 0,
+            group_commit: false,
+            group_commit_window: None,
+            group_commit_max_batch: 64,
+            force_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total number of sites across all shards.
+    pub fn total_sites(&self) -> u32 {
+        self.shards * self.sites_per_shard
+    }
+
+    /// Total number of items across all shards.
+    pub fn total_items(&self) -> u32 {
+        self.shards * self.items_per_shard
+    }
+
+    /// Enables group commit (builder style).
+    pub fn with_group_commit(mut self) -> Self {
+        self.group_commit = true;
+        self
+    }
+
+    /// Sets the simulated WAL force latency (builder style).
+    pub fn with_force_latency(mut self, latency: Duration) -> Self {
+        self.force_latency = latency;
+        self
+    }
+
+    /// Panics unless the shape is internally consistent (quorums valid,
+    /// replication feasible).
+    pub fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.sites_per_shard > 0, "need at least one site per shard");
+        assert!(self.items_per_shard > 0, "need at least one item per shard");
+        assert!(
+            self.replication > 0 && self.replication <= self.sites_per_shard,
+            "replication must be in 1..=sites_per_shard"
+        );
+        let total = self.replication;
+        assert!(
+            self.read_quorum >= 1 && self.read_quorum <= total,
+            "r must be in 1..=total votes"
+        );
+        assert!(self.write_quorum <= total, "w must not exceed total votes");
+        assert!(
+            self.read_quorum + self.write_quorum > total,
+            "r + w must exceed total votes (Gifford)"
+        );
+        assert!(
+            2 * self.write_quorum > total,
+            "w must exceed half the total votes (Gifford)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = ClusterConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.total_sites(), 6);
+        assert_eq!(cfg.total_items(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "r + w")]
+    fn bad_quorums_are_rejected() {
+        ClusterConfig {
+            read_quorum: 1,
+            write_quorum: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be in")]
+    fn oversized_read_quorum_is_rejected() {
+        ClusterConfig {
+            read_quorum: 4,
+            write_quorum: 2,
+            replication: 3,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

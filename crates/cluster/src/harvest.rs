@@ -1,0 +1,116 @@
+//! Shared plumbing between the two substrates: node construction and
+//! metric/consistency harvesting from a set of [`SiteNode`]s.
+
+use crate::config::ClusterConfig;
+use crate::metrics::{AtomicityViolation, ClusterMetrics, ShardMetrics};
+use crate::shard::{ShardId, ShardMap};
+use crate::sim_cluster::TxnHandle;
+use qbc_core::{Decision, ProtocolKind, SiteVotes};
+use qbc_db::{NodeConfig, SiteNode};
+use qbc_simnet::{SiteId, Time};
+use std::collections::BTreeMap;
+
+/// Builds one configured [`SiteNode`] per cluster site (initial item
+/// values zero), ready for either substrate.
+pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, SiteNode)> {
+    let mut nodes = Vec::with_capacity(cfg.total_sites() as usize);
+    for shard in 0..cfg.shards {
+        let shard = ShardId(shard);
+        let sites = map.sites_of(shard);
+        for &site in &sites {
+            let mut nc = NodeConfig::new(site, map.catalog(shard).clone(), cfg.t_bound);
+            nc.group_commit = cfg.group_commit;
+            if let Some(w) = cfg.group_commit_window {
+                nc.group_commit_window = w;
+            }
+            nc.group_commit_max_batch = cfg.group_commit_max_batch;
+            nc.force_latency = cfg.force_latency;
+            if cfg.protocol == ProtocolKind::SkeenQuorum {
+                let q = cfg.sites_per_shard / 2 + 1;
+                nc = nc.with_site_votes(SiteVotes::uniform(sites.iter().copied(), q, q));
+            }
+            nodes.push((site, SiteNode::new(nc, |_| 0)));
+        }
+    }
+    nodes
+}
+
+/// Walks the cluster's nodes and computes per-shard metrics plus the
+/// cluster-level atomicity check for every submitted handle.
+pub(crate) fn harvest(
+    map: &ShardMap,
+    handles: &[TxnHandle],
+    nodes: &BTreeMap<SiteId, &SiteNode>,
+    now: Time,
+) -> (ClusterMetrics, Vec<AtomicityViolation>) {
+    let mut shards: Vec<ShardMetrics> =
+        (0..map.shards()).map(|_| ShardMetrics::default()).collect();
+    let mut violations = Vec::new();
+
+    for h in handles {
+        let m = &mut shards[h.shard.0 as usize];
+        m.submitted += 1;
+        let mut committed_at = Vec::new();
+        let mut aborted_at = Vec::new();
+        let mut blocked = false;
+        let mut known = false;
+        for site in map.sites_of(h.shard) {
+            let Some(node) = nodes.get(&site) else {
+                continue;
+            };
+            match node.decision(h.txn) {
+                Some(Decision::Commit) => committed_at.push(site),
+                Some(Decision::Abort) => aborted_at.push(site),
+                None => {}
+            }
+            known |= node.local_state(h.txn).is_some();
+            blocked |= node.is_blocked(h.txn);
+        }
+        if !committed_at.is_empty() && !aborted_at.is_empty() {
+            violations.push(AtomicityViolation {
+                txn: h.txn,
+                committed_at: committed_at.clone(),
+                aborted_at: aborted_at.clone(),
+            });
+        }
+        if blocked {
+            m.blocked += 1;
+        }
+        if !committed_at.is_empty() {
+            m.committed += 1;
+        } else if !aborted_at.is_empty() {
+            m.aborted += 1;
+        } else if known || now <= h.submitted_at {
+            m.undecided += 1;
+            m.queue_depth += 1;
+        } else {
+            // Submitted in the past yet unknown everywhere: the
+            // coordinator was down at the submission instant and the
+            // request was lost. Nothing was ever logged, so the
+            // transaction can never commit.
+            m.rejected += 1;
+        }
+        // Client-observed latency: the coordinator's decision time.
+        if let Some(node) = nodes.get(&h.coordinator) {
+            if let Some(at) = node.decided_at(h.txn) {
+                m.latency.record(at.since(h.submitted_at));
+            }
+        }
+    }
+
+    for (i, m) in shards.iter_mut().enumerate() {
+        for site in map.sites_of(ShardId(i as u32)) {
+            if let Some(node) = nodes.get(&site) {
+                m.wal_forces += node.wal_forces();
+                m.wal_records += node.wal_len() as u64;
+                let backlog = node.wal_backlog(now);
+                if backlog > m.wal_backlog {
+                    m.wal_backlog = backlog;
+                }
+            }
+        }
+        m.peak_queue_depth = m.queue_depth;
+    }
+
+    (ClusterMetrics { shards }, violations)
+}

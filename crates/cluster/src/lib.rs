@@ -1,0 +1,44 @@
+//! # qbc-cluster — sharded cluster runtime
+//!
+//! The seed reproduces Huang & Li's commit/termination protocols one
+//! choreographed scenario at a time. This crate turns those per-site
+//! engines into a *runtime*: many shards, many concurrent client
+//! transactions, group-commit batching underneath, and live metrics on
+//! top.
+//!
+//! * [`ClusterConfig`]/[`ShardMap`] — partition a global item space into
+//!   shards, each replicated over its own site group with Gifford
+//!   quorums; coordinators are placed round-robin within a shard.
+//! * [`SimCluster`] + [`Session`] — the client front-end on the
+//!   deterministic simulator: `submit` returns a [`TxnHandle`] without
+//!   waiting, any number of transactions run concurrently, and
+//!   `await_decision`/`decision` resolve handles later. [`ReadHandle`]s
+//!   do the same for quorum reads.
+//! * [`ThreadedCluster`] — the same cluster on the real-time threaded
+//!   transport, driven through the `NetMsg::BeginTxn` wire request.
+//! * [`ClusterMetrics`] — per-shard commit/abort/blocked counters,
+//!   client-observed latency histograms, in-flight queue depths and WAL
+//!   force counts, harvestable mid-run.
+//! * [`AtomicityViolation`] — the cluster-level consistency check: no
+//!   transaction may commit at one participant and abort at another.
+//!
+//! Transactions are single-shard (the shard of their writeset's items);
+//! cross-shard transactions are an open ROADMAP item. Group commit
+//! (`qbc_db::NodeConfig::group_commit`, `force_latency`) is configured
+//! per cluster here and exercised by `e13_cluster_throughput`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod harvest;
+mod metrics;
+mod shard;
+mod sim_cluster;
+mod threaded_cluster;
+
+pub use config::ClusterConfig;
+pub use metrics::{AtomicityViolation, ClusterMetrics, LatencyHistogram, ShardMetrics};
+pub use shard::{ShardId, ShardMap};
+pub use sim_cluster::{ReadHandle, Session, SimCluster, TxnHandle, TxnStatus};
+pub use threaded_cluster::{ClusterReport, ThreadedCluster};

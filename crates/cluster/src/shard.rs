@@ -1,0 +1,181 @@
+//! Item-space partitioning and replica placement.
+
+use crate::config::ClusterConfig;
+use qbc_core::WriteSet;
+use qbc_simnet::SiteId;
+use qbc_votes::{Catalog, CatalogBuilder, ItemId};
+use std::fmt;
+
+/// Identifier of one shard (replica group).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Static placement: which shard owns an item, which sites form a
+/// shard, and the per-shard replication catalog.
+///
+/// Both id spaces are contiguous per shard, so routing is arithmetic —
+/// no lookup table sits on the submit path.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: u32,
+    sites_per_shard: u32,
+    items_per_shard: u32,
+    catalogs: Vec<Catalog>,
+}
+
+impl ShardMap {
+    /// Builds the placement for a configuration (panics on an invalid
+    /// one; see [`ClusterConfig::validate`]).
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        cfg.validate();
+        let mut catalogs = Vec::with_capacity(cfg.shards as usize);
+        for shard in 0..cfg.shards {
+            let mut b = CatalogBuilder::new();
+            for k in 0..cfg.items_per_shard {
+                let item = ItemId(shard * cfg.items_per_shard + k);
+                b = b.item(item, format!("x{}", item.0));
+                for j in 0..cfg.replication {
+                    let site = SiteId(shard * cfg.sites_per_shard + (k + j) % cfg.sites_per_shard);
+                    b = b.copy(site, 1);
+                }
+                b = b.quorums(cfg.read_quorum, cfg.write_quorum);
+            }
+            catalogs.push(b.build().expect("validated cluster config"));
+        }
+        ShardMap {
+            shards: cfg.shards,
+            sites_per_shard: cfg.sites_per_shard,
+            items_per_shard: cfg.items_per_shard,
+            catalogs,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `item`, or `None` for an id outside the space.
+    pub fn shard_of_item(&self, item: ItemId) -> Option<ShardId> {
+        let s = item.0 / self.items_per_shard;
+        (s < self.shards).then_some(ShardId(s))
+    }
+
+    /// The shard a site belongs to, or `None` for a foreign site id.
+    pub fn shard_of_site(&self, site: SiteId) -> Option<ShardId> {
+        let s = site.0 / self.sites_per_shard;
+        (s < self.shards).then_some(ShardId(s))
+    }
+
+    /// The sites of one shard, in id order.
+    pub fn sites_of(&self, shard: ShardId) -> Vec<SiteId> {
+        let base = shard.0 * self.sites_per_shard;
+        (base..base + self.sites_per_shard).map(SiteId).collect()
+    }
+
+    /// The `n`-th coordinator choice of a shard (round-robin placement).
+    pub fn coordinator(&self, shard: ShardId, n: u64) -> SiteId {
+        SiteId(shard.0 * self.sites_per_shard + (n % self.sites_per_shard as u64) as u32)
+    }
+
+    /// Every site in the cluster.
+    pub fn all_sites(&self) -> Vec<SiteId> {
+        (0..self.shards * self.sites_per_shard)
+            .map(SiteId)
+            .collect()
+    }
+
+    /// The replication catalog of one shard.
+    pub fn catalog(&self, shard: ShardId) -> &Catalog {
+        &self.catalogs[shard.0 as usize]
+    }
+
+    /// The items of one shard, in id order.
+    pub fn items_of(&self, shard: ShardId) -> Vec<ItemId> {
+        let base = shard.0 * self.items_per_shard;
+        (base..base + self.items_per_shard).map(ItemId).collect()
+    }
+
+    /// The single shard a writeset routes to. Panics on an empty
+    /// writeset, an item outside the cluster's item space, or a
+    /// cross-shard writeset (cross-shard transactions are an open
+    /// ROADMAP item). Shared by both cluster front-ends so the two
+    /// substrates can never route the same writeset differently.
+    pub fn shard_of_writeset(&self, writeset: &WriteSet) -> ShardId {
+        let mut items = writeset.items();
+        let first = items
+            .next()
+            .expect("cannot submit a transaction with an empty writeset");
+        let shard = self
+            .shard_of_item(first)
+            .unwrap_or_else(|| panic!("{first:?} outside the cluster's item space"));
+        for item in items {
+            assert_eq!(
+                self.shard_of_item(item),
+                Some(shard),
+                "cross-shard writeset: {item:?} not in {shard} (single-shard \
+                 transactions only; see ROADMAP)"
+            );
+        }
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ShardMap {
+        ShardMap::new(&ClusterConfig::default())
+    }
+
+    #[test]
+    fn items_and_sites_route_to_their_shard() {
+        let m = map();
+        assert_eq!(m.shard_of_item(ItemId(0)), Some(ShardId(0)));
+        assert_eq!(m.shard_of_item(ItemId(7)), Some(ShardId(0)));
+        assert_eq!(m.shard_of_item(ItemId(8)), Some(ShardId(1)));
+        assert_eq!(m.shard_of_item(ItemId(99)), None);
+        assert_eq!(m.shard_of_site(SiteId(2)), Some(ShardId(0)));
+        assert_eq!(m.shard_of_site(SiteId(3)), Some(ShardId(1)));
+        assert_eq!(m.shard_of_site(SiteId(6)), None);
+    }
+
+    #[test]
+    fn coordinators_rotate_round_robin_within_the_shard() {
+        let m = map();
+        let picks: Vec<SiteId> = (0..4).map(|n| m.coordinator(ShardId(1), n)).collect();
+        assert_eq!(
+            picks,
+            vec![SiteId(3), SiteId(4), SiteId(5), SiteId(3)],
+            "round robin over shard 1's sites"
+        );
+    }
+
+    #[test]
+    fn catalogs_place_copies_only_on_shard_sites() {
+        let m = map();
+        for shard in [ShardId(0), ShardId(1)] {
+            let sites = m.sites_of(shard);
+            let cat = m.catalog(shard);
+            for item in m.items_of(shard) {
+                let spec = cat.item(item).expect("item in shard catalog");
+                for s in spec.sites() {
+                    assert!(sites.contains(&s), "{item:?} copy at foreign {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The cluster front-end on the deterministic simulator.
+
+use crate::config::ClusterConfig;
+use crate::harvest::{build_nodes, harvest};
+use crate::metrics::{AtomicityViolation, ClusterMetrics};
+use crate::shard::{ShardId, ShardMap};
+use qbc_core::{Decision, TxnId, WriteSet};
+use qbc_db::{ReadResult, SiteNode, Violation};
+use qbc_simnet::{DelayModel, Duration, Quiescence, Sim, SimConfig, SiteId, Time};
+use qbc_votes::ItemId;
+use std::collections::BTreeMap;
+
+/// Client-observable state of a submitted transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Some participant decided commit.
+    Committed,
+    /// Some participant decided abort (and none committed).
+    Aborted,
+    /// In flight: at least one site is running the protocol for it.
+    Pending,
+    /// The submission never reached a live coordinator (the site was
+    /// down at the submission instant): no live site knows the
+    /// transaction and its coordinator is up — the cluster-level
+    /// equivalent of a client connection error. While the coordinator
+    /// is *down* the handle reads as [`TxnStatus::Pending`] instead,
+    /// because a recovering coordinator can revive a transaction from
+    /// its WAL. (A spec-carrying message still in flight at the poll
+    /// instant can, in rare crash/recovery interleavings, still revive
+    /// a `Rejected` transaction — treat it as best-effort terminal.)
+    Rejected,
+}
+
+impl TxnStatus {
+    /// True when the handle has reached a terminal state (committed,
+    /// aborted or rejected). Commit/abort never change again; see
+    /// [`TxnStatus::Rejected`] for its (narrow) revival caveat.
+    pub fn is_resolved(self) -> bool {
+        !matches!(self, TxnStatus::Pending)
+    }
+}
+
+/// A submitted transaction: everything a client needs to resolve its
+/// outcome later. Cheap to copy; does not borrow the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// Cluster-unique transaction id.
+    pub txn: TxnId,
+    /// Shard the transaction runs on.
+    pub shard: ShardId,
+    /// Site chosen (round-robin) to coordinate it.
+    pub coordinator: SiteId,
+    /// Virtual time of submission.
+    pub submitted_at: Time,
+}
+
+/// A started quorum read, resolvable via [`SimCluster::read_result`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadHandle {
+    /// Node-local request id at the coordinating site.
+    pub req_id: u64,
+    /// Site collecting the read quorum.
+    pub coordinator: SiteId,
+    /// Item read.
+    pub item: ItemId,
+    /// Virtual time of submission.
+    pub submitted_at: Time,
+}
+
+/// One client's view of the cluster: remembers the handles it issued so
+/// the whole session can be awaited at once. Sessions are cheap and any
+/// number can be open; their transactions run concurrently.
+#[derive(Debug)]
+pub struct Session {
+    /// Session id (diagnostic only).
+    pub id: u32,
+    handles: Vec<TxnHandle>,
+}
+
+impl Session {
+    /// Handles submitted through this session, in submission order.
+    pub fn handles(&self) -> &[TxnHandle] {
+        &self.handles
+    }
+}
+
+/// A sharded cluster running on the deterministic simulator: site nodes
+/// for every shard on one [`Sim`], fronted by a submit/read/await client
+/// API. Determinism is inherited — a run is a pure function of the
+/// configuration and the submission schedule.
+pub struct SimCluster {
+    cfg: ClusterConfig,
+    map: ShardMap,
+    sim: Sim<SiteNode>,
+    next_txn: u64,
+    next_read: u64,
+    next_session: u32,
+    rr_by_shard: Vec<u64>,
+    handles: Vec<TxnHandle>,
+    peak_queue: Vec<u64>,
+}
+
+impl SimCluster {
+    /// Builds and deploys the cluster (all sites up, fully connected).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let map = ShardMap::new(&cfg);
+        let nodes = build_nodes(&cfg, &map);
+        let sim = Sim::new(
+            SimConfig {
+                seed: cfg.seed,
+                delay: DelayModel::uniform(Duration(1), cfg.t_bound),
+                record_trace: false,
+            },
+            nodes,
+        );
+        let shards = cfg.shards as usize;
+        SimCluster {
+            cfg,
+            map,
+            sim,
+            next_txn: 1,
+            next_read: 1,
+            next_session: 0,
+            rr_by_shard: vec![0; shards],
+            handles: Vec::new(),
+            peak_queue: vec![0; shards],
+        }
+    }
+
+    /// The placement map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The configuration the cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Opens a new client session.
+    pub fn open_session(&mut self) -> Session {
+        let id = self.next_session;
+        self.next_session += 1;
+        Session {
+            id,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Submits a transaction at virtual time `at` (no waiting): the
+    /// shard is the writeset's shard, the coordinator rotates round-robin
+    /// over that shard's sites. Panics on an empty or cross-shard
+    /// writeset — cross-shard transactions are an open ROADMAP item.
+    pub fn submit_at(&mut self, at: Time, writeset: WriteSet) -> TxnHandle {
+        let shard = self.map.shard_of_writeset(&writeset);
+        let n = self.rr_by_shard[shard.0 as usize];
+        self.rr_by_shard[shard.0 as usize] += 1;
+        let coordinator = self.map.coordinator(shard, n);
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let protocol = self.cfg.protocol;
+        self.sim.schedule_call(at, coordinator, move |node, ctx| {
+            node.begin_transaction(ctx, txn, writeset, protocol);
+        });
+        let handle = TxnHandle {
+            txn,
+            shard,
+            coordinator,
+            submitted_at: at,
+        };
+        self.handles.push(handle);
+        handle
+    }
+
+    /// [`SimCluster::submit_at`], recorded in `session`.
+    pub fn submit(&mut self, session: &mut Session, at: Time, writeset: WriteSet) -> TxnHandle {
+        let h = self.submit_at(at, writeset);
+        session.handles.push(h);
+        h
+    }
+
+    /// Starts a quorum read of `item` at virtual time `at`, coordinated
+    /// round-robin like a transaction.
+    pub fn read_at(&mut self, at: Time, item: ItemId) -> ReadHandle {
+        let shard = self
+            .map
+            .shard_of_item(item)
+            .unwrap_or_else(|| panic!("{item:?} outside the cluster's item space"));
+        let n = self.rr_by_shard[shard.0 as usize];
+        self.rr_by_shard[shard.0 as usize] += 1;
+        let coordinator = self.map.coordinator(shard, n);
+        let req_id = self.next_read;
+        self.next_read += 1;
+        self.sim.schedule_call(at, coordinator, move |node, ctx| {
+            node.start_read(ctx, req_id, item);
+        });
+        ReadHandle {
+            req_id,
+            coordinator,
+            item,
+            submitted_at: at,
+        }
+    }
+
+    /// Runs the cluster until virtual time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+
+    /// Runs until the event queue drains or `max_events` are processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> Quiescence {
+        self.sim.run_to_quiescence(max_events)
+    }
+
+    /// The decision for a handle, if any site of its shard has one.
+    pub fn decision(&self, h: &TxnHandle) -> Option<Decision> {
+        if let Some(d) = self.sim.node(h.coordinator).decision(h.txn) {
+            return Some(d);
+        }
+        self.map
+            .sites_of(h.shard)
+            .into_iter()
+            .find_map(|s| self.sim.node(s).decision(h.txn))
+    }
+
+    /// Client-observable status of a handle (see [`TxnStatus`]).
+    pub fn status(&self, h: &TxnHandle) -> TxnStatus {
+        match self.decision(h) {
+            Some(Decision::Commit) => TxnStatus::Committed,
+            Some(Decision::Abort) => TxnStatus::Aborted,
+            None => {
+                let known = self
+                    .map
+                    .sites_of(h.shard)
+                    .into_iter()
+                    .any(|s| self.sim.node(s).local_state(h.txn).is_some());
+                // A down coordinator may hold the transaction durably in
+                // its WAL and revive it on recovery: stay Pending until
+                // it is back up and still knows nothing.
+                let coordinator_down = self.sim.topology().is_down(h.coordinator);
+                if known || coordinator_down || self.sim.now() <= h.submitted_at {
+                    TxnStatus::Pending
+                } else {
+                    TxnStatus::Rejected
+                }
+            }
+        }
+    }
+
+    /// The outcome of a read, if its collection has concluded.
+    pub fn read_result(&self, h: &ReadHandle) -> Option<ReadResult> {
+        self.sim.node(h.coordinator).read_result(h.req_id)
+    }
+
+    /// Drives the simulation until the handle resolves, the event queue
+    /// drains, or virtual time reaches `deadline`; returns the decision
+    /// if one was reached.
+    pub fn await_decision(&mut self, h: &TxnHandle, deadline: Time) -> Option<Decision> {
+        loop {
+            if let Some(d) = self.decision(h) {
+                return Some(d);
+            }
+            if self.sim.now() >= deadline || !self.sim.step() {
+                return self.decision(h);
+            }
+        }
+    }
+
+    /// Awaits every transaction of a session (same bounds as
+    /// [`SimCluster::await_decision`]); returns each handle's outcome.
+    pub fn await_all(
+        &mut self,
+        session: &Session,
+        deadline: Time,
+    ) -> Vec<(TxnHandle, Option<Decision>)> {
+        session
+            .handles
+            .iter()
+            .map(|h| (*h, self.await_decision(h, deadline)))
+            .collect()
+    }
+
+    /// Harvests the live metrics registry *and* the cluster-level
+    /// atomicity check in one pass over the nodes (both views are from
+    /// the same instant). Callable mid-run; peak queue depths
+    /// accumulate across harvests.
+    pub fn metrics_and_violations(&mut self) -> (ClusterMetrics, Vec<AtomicityViolation>) {
+        let nodes: BTreeMap<SiteId, &SiteNode> = self.sim.nodes().collect();
+        let (mut metrics, violations) = harvest(&self.map, &self.handles, &nodes, self.sim.now());
+        for (i, m) in metrics.shards.iter_mut().enumerate() {
+            self.peak_queue[i] = self.peak_queue[i].max(m.queue_depth);
+            m.peak_queue_depth = self.peak_queue[i];
+        }
+        (metrics, violations)
+    }
+
+    /// Harvests the live metrics registry: counters and histograms over
+    /// everything submitted so far (see
+    /// [`SimCluster::metrics_and_violations`] when the atomicity check
+    /// is also needed).
+    pub fn metrics(&mut self) -> ClusterMetrics {
+        self.metrics_and_violations().0
+    }
+
+    /// Transactions that terminated inconsistently (must be empty).
+    pub fn atomicity_violations(&self) -> Vec<AtomicityViolation> {
+        let nodes: BTreeMap<SiteId, &SiteNode> = self.sim.nodes().collect();
+        harvest(&self.map, &self.handles, &nodes, self.sim.now()).1
+    }
+
+    /// Diagnostic violations recorded by any engine (must be empty).
+    pub fn engine_violations(&self) -> Vec<(SiteId, Violation)> {
+        self.sim
+            .nodes()
+            .flat_map(|(s, n)| n.violations().iter().cloned().map(move |v| (s, v)))
+            .collect()
+    }
+
+    /// Every handle submitted so far, in submission order.
+    pub fn handles(&self) -> &[TxnHandle] {
+        &self.handles
+    }
+
+    /// Read access to the underlying simulator (failure injection,
+    /// node inspection).
+    pub fn sim(&self) -> &Sim<SiteNode> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (schedule crashes,
+    /// partitions, recoveries around the client workload).
+    pub fn sim_mut(&mut self) -> &mut Sim<SiteNode> {
+        &mut self.sim
+    }
+}

@@ -324,11 +324,17 @@ mod tests {
             start[0],
             Action::Log(LogRecord::CoordinatorStart { .. })
         ));
-        assert!(matches!(start[1], Action::Broadcast(_, Msg::VoteReq { .. })));
+        assert!(matches!(
+            start[1],
+            Action::Broadcast(_, Msg::VoteReq { .. })
+        ));
         let actions = all_yes(&mut c, &cat, 8);
         // Decision logged before the command is sent.
         assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
         assert_eq!(c.phase(), CoordPhase::Decided(Decision::Commit));
         assert_eq!(c.commit_version(), Some(Version(1)));
     }
@@ -340,7 +346,10 @@ mod tests {
         c.start();
         c.on_vote(SiteId(1), true, Version(0), &cat);
         let actions = c.on_vote(SiteId(2), false, Version(0), &cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Abort { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Abort { .. })
+        ));
         assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
     }
 
@@ -371,7 +380,10 @@ mod tests {
             assert!(c.on_pc_ack(SiteId(s), &cat).is_empty(), "must wait for all");
         }
         let actions = c.on_pc_ack(SiteId(8), &cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
     }
 
     #[test]
@@ -389,7 +401,10 @@ mod tests {
         assert!(c.on_pc_ack(SiteId(6), &cat).is_empty());
         // s7 completes w(y)=3 → commit with 5-of-8 acks outstanding... 6 acks.
         let actions = c.on_pc_ack(SiteId(7), &cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
     }
 
     #[test]
@@ -402,7 +417,10 @@ mod tests {
         // Second x-copy ack reaches r(x)=2 → commit after only 2 acks:
         // QC2's speed advantage over QC1.
         let actions = c.on_pc_ack(SiteId(2), &cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
     }
 
     #[test]
@@ -416,7 +434,10 @@ mod tests {
             assert!(c.on_pc_ack(SiteId(s), &cat).is_empty());
         }
         let actions = c.on_pc_ack(SiteId(5), &cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
     }
 
     #[test]
@@ -426,7 +447,10 @@ mod tests {
         c.start();
         all_yes(&mut c, &cat, 4); // half the votes
         let actions = c.on_vote_timer();
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Abort { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Abort { .. })
+        ));
         assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
     }
 
@@ -438,7 +462,10 @@ mod tests {
         all_yes(&mut c, &cat, 8);
         c.on_pc_ack(SiteId(1), &cat);
         let actions = c.on_ack_timer(&cat);
-        assert!(matches!(actions[1], Action::Broadcast(_, Msg::Commit { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
     }
 
     #[test]

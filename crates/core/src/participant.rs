@@ -550,7 +550,8 @@ mod tests {
             Version(0),
         );
         assert!(
-            out.iter().any(|a| matches!(a, Action::Reply(Msg::PcAck { .. }))),
+            out.iter()
+                .any(|a| matches!(a, Action::Reply(Msg::PcAck { .. }))),
             "faulty participant acks PREPARE-TO-COMMIT in PA"
         );
         assert_eq!(p.state(), LocalState::PreCommit);

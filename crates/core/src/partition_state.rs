@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn forced_outcomes_match_section2() {
         use crate::types::Decision;
-        assert_eq!(forced_outcome(Ps::Ps3), ForcedOutcome::Decided(Decision::Abort));
-        assert_eq!(forced_outcome(Ps::Ps6), ForcedOutcome::Decided(Decision::Commit));
+        assert_eq!(
+            forced_outcome(Ps::Ps3),
+            ForcedOutcome::Decided(Decision::Abort)
+        );
+        assert_eq!(
+            forced_outcome(Ps::Ps6),
+            ForcedOutcome::Decided(Decision::Commit)
+        );
         assert_eq!(forced_outcome(Ps::Ps1), ForcedOutcome::AbortOrBlock);
         assert_eq!(forced_outcome(Ps::Ps2), ForcedOutcome::AbortOrBlock);
         assert_eq!(forced_outcome(Ps::Ps5), ForcedOutcome::CommitOrBlock);

@@ -561,8 +561,7 @@ mod tests {
             Decision::Commit,
             &partial
         ));
-        let full: BTreeSet<SiteId> =
-            [2, 3, 4, 5, 6, 7].into_iter().map(SiteId).collect();
+        let full: BTreeSet<SiteId> = [2, 3, 4, 5, 6, 7].into_iter().map(SiteId).collect();
         assert!(phase3_satisfied(
             &TerminationKind::Tp1,
             &cat,
@@ -601,9 +600,21 @@ mod tests {
         let cat = example_catalog();
         let spec = example_spec();
         let five: BTreeSet<SiteId> = (1..=5).map(SiteId).collect();
-        assert!(phase3_satisfied(&kind, &cat, &spec, Decision::Commit, &five));
+        assert!(phase3_satisfied(
+            &kind,
+            &cat,
+            &spec,
+            Decision::Commit,
+            &five
+        ));
         let four: BTreeSet<SiteId> = (1..=4).map(SiteId).collect();
-        assert!(!phase3_satisfied(&kind, &cat, &spec, Decision::Commit, &four));
+        assert!(!phase3_satisfied(
+            &kind,
+            &cat,
+            &spec,
+            Decision::Commit,
+            &four
+        ));
         assert!(phase3_satisfied(&kind, &cat, &spec, Decision::Abort, &four));
     }
 

@@ -282,7 +282,13 @@ impl Termination {
         let Some(attempt) = self.attempt else {
             return Vec::new();
         };
-        if phase3_satisfied(&self.kind, catalog, &self.spec, attempt, &self.quorum_sites()) {
+        if phase3_satisfied(
+            &self.kind,
+            catalog,
+            &self.spec,
+            attempt,
+            &self.quorum_sites(),
+        ) {
             self.decide(attempt)
         } else {
             Vec::new()
@@ -311,7 +317,11 @@ impl Termination {
     }
 
     /// A `Decided` relay reached the termination coordinator directly.
-    pub fn on_decided(&mut self, decision: Decision, commit_version: Option<Version>) -> Vec<Action> {
+    pub fn on_decided(
+        &mut self,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) -> Vec<Action> {
         if matches!(self.phase, TerminationPhase::Done(_)) {
             return Vec::new();
         }
@@ -525,7 +535,7 @@ mod tests {
         );
         t.on_state_rep(SiteId(3), 3, LocalState::Wait, None, &cat);
         t.on_state_timer(3, &cat); // → AttemptAbort (r(x) among s2,s3)
-        // Nobody acks (additional failures); window expires.
+                                   // Nobody acks (additional failures); window expires.
         let actions = t.on_acks_timer(3, &cat);
         assert!(matches!(actions[0], Action::RequestTermination { .. }));
         assert_eq!(*t.phase(), TerminationPhase::Failed);

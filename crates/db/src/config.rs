@@ -35,6 +35,23 @@ pub struct NodeConfig {
     /// Monte-Carlo sweeps cap it so permanently blocked runs settle
     /// instead of churning elections forever.
     pub max_termination_rounds: u64,
+    /// Group-commit batching: engine log records are staged and forced
+    /// in one flush per batch instead of one flush each. Messages and
+    /// decision applications that depend on a staged record are withheld
+    /// until its batch is forced, so the durability contract (logged
+    /// before told) is preserved exactly.
+    pub group_commit: bool,
+    /// How long the first staged record of a batch waits for companions
+    /// before the batch is forced.
+    pub group_commit_window: Duration,
+    /// Force the batch early once this many records are staged.
+    pub group_commit_max_batch: usize,
+    /// Simulated latency of one WAL force. The log device is serial:
+    /// a force issued while another is in flight starts only after it
+    /// completes — the contention that makes group commit pay at high
+    /// concurrency. Zero (the default) keeps the seed's instant-force
+    /// model and changes nothing.
+    pub force_latency: Duration,
 }
 
 impl NodeConfig {
@@ -50,7 +67,23 @@ impl NodeConfig {
             retry_blocked: true,
             blocked_retry: Duration(t_bound.0 * 6),
             max_termination_rounds: u64::MAX,
+            group_commit: false,
+            group_commit_window: Duration((t_bound.0 / 2).max(1)),
+            group_commit_max_batch: 64,
+            force_latency: Duration::ZERO,
         }
+    }
+
+    /// Enables group-commit batching of WAL forces.
+    pub fn with_group_commit(mut self) -> Self {
+        self.group_commit = true;
+        self
+    }
+
+    /// Sets the simulated per-force latency of the log device.
+    pub fn with_force_latency(mut self, latency: Duration) -> Self {
+        self.force_latency = latency;
+        self
     }
 
     /// Sets the Skeen site-vote parameters.
@@ -78,14 +111,30 @@ impl NodeConfig {
         self
     }
 
-    /// Collection window `2T` (Figs. 5/8 phases 2–3).
-    pub fn window_2t(&self) -> Duration {
-        self.t_bound.times(2)
+    /// Extra delay a message may suffer at its sender waiting for WAL
+    /// durability: one batch window (if batching) plus one force. The
+    /// paper's timeout arithmetic assumes `T` bounds end-to-end delay;
+    /// with a modeled log device, collection windows must budget for
+    /// the sender-side storage stall too.
+    pub fn storage_slack(&self) -> Duration {
+        let window = if self.group_commit {
+            self.group_commit_window
+        } else {
+            Duration::ZERO
+        };
+        Duration(window.0 + self.force_latency.0)
     }
 
-    /// Watchdog `3T` (Fig. 5 participant event 6).
+    /// Collection window `2T` (Figs. 5/8 phases 2–3), widened by the
+    /// round-trip storage slack.
+    pub fn window_2t(&self) -> Duration {
+        Duration(self.t_bound.times(2).0 + self.storage_slack().times(2).0)
+    }
+
+    /// Watchdog `3T` (Fig. 5 participant event 6), widened by the
+    /// storage slack.
     pub fn watchdog_3t(&self) -> Duration {
-        self.t_bound.times(3)
+        Duration(self.t_bound.times(3).0 + self.storage_slack().times(3).0)
     }
 
     /// Sanity-check the protocol parameters for a given kind.
@@ -130,6 +179,17 @@ mod tests {
         assert!(cfg.validate_for(ProtocolKind::QuorumCommit1).is_ok());
         let cfg = cfg.with_site_votes(SiteVotes::uniform([SiteId(0), SiteId(1), SiteId(2)], 2, 2));
         assert!(cfg.validate_for(ProtocolKind::SkeenQuorum).is_ok());
+    }
+
+    #[test]
+    fn storage_slack_widens_windows() {
+        let cfg = NodeConfig::new(SiteId(0), catalog(), Duration(10))
+            .with_group_commit()
+            .with_force_latency(Duration(4));
+        // window 5 (t/2) + force 4 = 9 slack.
+        assert_eq!(cfg.storage_slack(), Duration(9));
+        assert_eq!(cfg.window_2t(), Duration(20 + 18));
+        assert_eq!(cfg.watchdog_3t(), Duration(30 + 27));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The network message envelope and timer vocabulary of a database site.
 
-use qbc_core::{Msg, TimerKind, TxnId, TxnSpec};
+use qbc_core::{Msg, ProtocolKind, TimerKind, TxnId, TxnSpec, WriteSet};
 use qbc_election::{ElectionMsg, ElectionTimer};
 use qbc_simnet::Label;
 use qbc_votes::{ItemId, Version};
@@ -39,6 +39,18 @@ pub enum NetMsg {
         /// undecided transaction (the paper's blocked-locks effect).
         copy: Option<(Version, i64)>,
     },
+    /// A client asks this site to coordinate a new transaction. This is
+    /// the wire form of [`crate::SiteNode::begin_transaction`], used by
+    /// front-ends (the cluster runtime) on transports that cannot call
+    /// into a node directly (the threaded substrate).
+    BeginTxn {
+        /// Client-chosen transaction id (globally unique).
+        txn: TxnId,
+        /// Items and values to write.
+        writeset: WriteSet,
+        /// Commit protocol to run.
+        protocol: ProtocolKind,
+    },
 }
 
 impl Label for NetMsg {
@@ -48,6 +60,7 @@ impl Label for NetMsg {
             NetMsg::Election { msg, .. } => msg.label(),
             NetMsg::ReadReq { .. } => "READ-REQ",
             NetMsg::ReadRep { .. } => "READ-REP",
+            NetMsg::BeginTxn { .. } => "BEGIN-TXN",
         }
     }
 }
@@ -69,6 +82,14 @@ pub enum NodeTimer {
     ReadTimeout {
         /// Request id.
         req_id: u64,
+    },
+    /// The group-commit batch window expired: force the staged records.
+    FlushWal,
+    /// A WAL force issued earlier completed (the serialized log device
+    /// model of [`crate::NodeConfig::force_latency`]).
+    WalForceDone {
+        /// Id of the completed force batch.
+        batch: u64,
     },
 }
 

@@ -88,6 +88,23 @@ pub struct Violation {
     pub note: &'static str,
 }
 
+/// An effect withheld until the WAL records it depends on are forced:
+/// the "logged before told" half of the durability contract. Protocol
+/// messages and decision applications queue here while their log
+/// records sit in the group-commit buffer or an in-flight force.
+#[derive(Debug)]
+enum DeferredOp {
+    Send {
+        to: SiteId,
+        msg: NetMsg,
+    },
+    Apply {
+        txn: TxnId,
+        decision: Decision,
+        commit_version: Option<Version>,
+    },
+}
+
 /// One full database site.
 pub struct SiteNode {
     cfg: NodeConfig,
@@ -99,6 +116,16 @@ pub struct SiteNode {
     violations: Vec<Violation>,
     /// Self-addressed messages processed synchronously (local delivery).
     local_queue: VecDeque<NetMsg>,
+    /// Virtual time at which the serial log device becomes idle.
+    wal_free_at: Time,
+    /// Ops gated on records still in the group-commit buffer.
+    gated_on_buffer: Vec<DeferredOp>,
+    /// Ops gated on an in-flight force, keyed by batch id (FIFO device:
+    /// batches complete in id order).
+    inflight_forces: BTreeMap<u64, Vec<DeferredOp>>,
+    next_force_batch: u64,
+    /// Pending batch-window timer, cancelled on early (batch-full) flush.
+    flush_timer: Option<TimerId>,
 }
 
 impl SiteNode {
@@ -118,6 +145,11 @@ impl SiteNode {
             reads: BTreeMap::new(),
             violations: Vec::new(),
             local_queue: VecDeque::new(),
+            wal_free_at: Time::ZERO,
+            gated_on_buffer: Vec::new(),
+            inflight_forces: BTreeMap::new(),
+            next_force_batch: 0,
+            flush_timer: None,
         }
     }
 
@@ -185,7 +217,11 @@ impl SiteNode {
 
     /// Read-only access to the durable log (for experiments and tests).
     pub fn log_records(&self) -> Vec<LogRecord> {
-        self.storage.wal().replay().map(|(_, r)| r.clone()).collect()
+        self.storage
+            .wal()
+            .replay()
+            .map(|(_, r)| r.clone())
+            .collect()
     }
 
     /// Number of termination rounds this site initiated for `txn`.
@@ -194,6 +230,24 @@ impl SiteNode {
             .get(&txn)
             .map(|t| t.termination_rounds)
             .unwrap_or(0)
+    }
+
+    /// Number of WAL forces this site has paid (one per flush; with
+    /// group commit many records share one force).
+    pub fn wal_forces(&self) -> u64 {
+        self.storage.wal_forces()
+    }
+
+    /// Number of durable WAL records at this site.
+    pub fn wal_len(&self) -> usize {
+        self.storage.wal().len()
+    }
+
+    /// Outstanding work on the serial log device as of `now`: how long a
+    /// force issued now would wait before even starting. Zero when the
+    /// device is idle.
+    pub fn wal_backlog(&self, now: Time) -> qbc_simnet::Duration {
+        self.wal_free_at.since(now)
     }
 
     // ---- client entry points -------------------------------------------
@@ -214,10 +268,7 @@ impl SiteNode {
         state.started_at = ctx.now();
         let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
         let actions = coord.start();
-        self.txns
-            .get_mut(&txn)
-            .expect("just ensured")
-            .coordinator = Some(coord);
+        self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
         self.apply_actions(ctx, txn, self.cfg.site, actions);
         self.pump(ctx);
     }
@@ -281,13 +332,108 @@ impl SiteNode {
         })
     }
 
+    /// Sends a message, or withholds it while a durability barrier is up:
+    /// no message may overtake a log record staged or forced before it.
+    fn send_net(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, to: SiteId, msg: NetMsg) {
+        if self.durability_barrier() {
+            self.defer(DeferredOp::Send { to, msg });
+        } else {
+            self.send_net_now(ctx, to, msg);
+        }
+    }
+
     /// Routes a self-addressed message through the local queue instead of
     /// the network: a site never loses messages to itself.
-    fn send_net(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, to: SiteId, msg: NetMsg) {
+    fn send_net_now(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, to: SiteId, msg: NetMsg) {
         if to == self.cfg.site {
             self.local_queue.push_back(msg);
         } else {
             ctx.send(to, msg);
+        }
+    }
+
+    /// True while some log record is staged or being forced; outbound
+    /// effects must queue behind it to preserve logged-before-told.
+    fn durability_barrier(&self) -> bool {
+        self.storage.wal().pending_len() > 0 || !self.inflight_forces.is_empty()
+    }
+
+    /// Queues an op behind the youngest durability barrier: the buffer
+    /// if records are staged, else the latest in-flight force.
+    fn defer(&mut self, op: DeferredOp) {
+        if self.storage.wal().pending_len() > 0 {
+            self.gated_on_buffer.push(op);
+        } else {
+            let batch = *self
+                .inflight_forces
+                .keys()
+                .next_back()
+                .expect("barrier implies an in-flight force");
+            self.inflight_forces
+                .get_mut(&batch)
+                .expect("key just read")
+                .push(op);
+        }
+    }
+
+    /// Forces the staged batch (if any) and models the device time it
+    /// costs. Ops gated on the buffer move behind the new force; with an
+    /// instant device they run immediately (the force is still one
+    /// flush, so batching still saves forces).
+    fn flush_wal(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        if let Some(id) = self.flush_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        if self.storage.force_log() == 0 {
+            return;
+        }
+        let ops = std::mem::take(&mut self.gated_on_buffer);
+        if self.cfg.force_latency == qbc_simnet::Duration::ZERO {
+            self.run_deferred(ctx, ops);
+            return;
+        }
+        // Serial device: this force starts when the previous completes.
+        let start = Time(ctx.now().0.max(self.wal_free_at.0));
+        let done = start + self.cfg.force_latency;
+        self.wal_free_at = done;
+        let batch = self.next_force_batch;
+        self.next_force_batch += 1;
+        self.inflight_forces.insert(batch, ops);
+        ctx.set_timer(done.since(ctx.now()), NodeTimer::WalForceDone { batch });
+    }
+
+    /// Executes ops whose durability dependency has been satisfied.
+    fn run_deferred(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, ops: Vec<DeferredOp>) {
+        for op in ops {
+            match op {
+                DeferredOp::Send { to, msg } => self.send_net_now(ctx, to, msg),
+                DeferredOp::Apply {
+                    txn,
+                    decision,
+                    commit_version,
+                } => self.apply_decision(ctx.now(), txn, decision, commit_version),
+            }
+        }
+    }
+
+    /// Records one engine log action under the configured force policy.
+    fn log_record(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, rec: LogRecord) {
+        if self.cfg.group_commit {
+            self.storage.log_buffered(rec);
+            if self.storage.wal().pending_len() >= self.cfg.group_commit_max_batch {
+                self.flush_wal(ctx);
+            } else if self.flush_timer.is_none() {
+                self.flush_timer =
+                    Some(ctx.set_timer(self.cfg.group_commit_window, NodeTimer::FlushWal));
+            }
+        } else if self.cfg.force_latency.0 > 0 {
+            // Per-record forcing on a slow device: durable now, but the
+            // completion (and everything gated on it) costs device time.
+            self.storage.log_buffered(rec);
+            self.flush_wal(ctx);
+        } else {
+            // Seed model: instant force per record.
+            self.storage.log(rec);
         }
     }
 
@@ -314,12 +460,17 @@ impl SiteNode {
                 };
                 self.send_net(ctx, from, NetMsg::ReadRep { req_id, item, copy });
             }
+            NetMsg::BeginTxn {
+                txn,
+                writeset,
+                protocol,
+            } => {
+                // Wire form of `begin_transaction` for front-ends on
+                // transports without direct node access.
+                self.begin_transaction(ctx, txn, writeset, protocol);
+            }
             NetMsg::ReadRep { req_id, item, copy } => {
-                let Some(weight) = self
-                    .catalog
-                    .item(item)
-                    .map(|spec| spec.weight_at(from))
-                else {
+                let Some(weight) = self.catalog.item(item).map(|spec| spec.weight_at(from)) else {
                     return;
                 };
                 let read_quorum = self
@@ -509,13 +660,24 @@ impl SiteNode {
                         self.send_net(ctx, to, NetMsg::Proto(m.clone()));
                     }
                 }
-                Action::Log(rec) => {
-                    self.storage.log(rec);
-                }
+                Action::Log(rec) => self.log_record(ctx, rec),
                 Action::ApplyAndDecide {
                     decision,
                     commit_version,
-                } => self.apply_decision(ctx.now(), txn, decision, commit_version),
+                } => {
+                    if self.durability_barrier() {
+                        // The decision's log record is not durable yet;
+                        // installing values and freeing locks waits for
+                        // the force, like the messages announcing it.
+                        self.defer(DeferredOp::Apply {
+                            txn,
+                            decision,
+                            commit_version,
+                        });
+                    } else {
+                        self.apply_decision(ctx.now(), txn, decision, commit_version)
+                    }
+                }
                 Action::SetTimer(kind) => {
                     let span = match kind {
                         TimerKind::VoteCollection { .. }
@@ -777,18 +939,32 @@ impl Process for SiteNode {
                     }
                 }
             }
+            NodeTimer::FlushWal => {
+                self.flush_timer = None;
+                self.flush_wal(ctx);
+            }
+            NodeTimer::WalForceDone { batch } => {
+                if let Some(ops) = self.inflight_forces.remove(&batch) {
+                    self.run_deferred(ctx, ops);
+                }
+            }
         }
         self.pump(ctx);
     }
 
     fn on_crash(&mut self, _now: Time) {
         // Volatile state dies with the site; the WAL and item store
-        // survive inside `storage`.
+        // survive inside `storage` (which also drops staged-but-unforced
+        // log records — the group-commit loss window).
         self.storage.crash();
         self.txns.clear();
         self.reads.clear();
         self.locks = LockManager::new();
         self.local_queue.clear();
+        self.gated_on_buffer.clear();
+        self.inflight_forces.clear();
+        self.flush_timer = None;
+        self.wal_free_at = Time::ZERO;
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
@@ -889,11 +1065,17 @@ impl Process for SiteNode {
                 // commit without the coordinator — so recovery there
                 // just rejoins as a participant.
                 None if protocol == ProtocolKind::TwoPhase => {
-                    self.storage.log(LogRecord::Decided {
-                        txn,
-                        decision: Decision::Abort,
-                        commit_version: None,
-                    });
+                    // Through the configured force policy, so recovery
+                    // pays the same device costs as normal operation and
+                    // the abort broadcasts below wait for the force.
+                    self.log_record(
+                        ctx,
+                        LogRecord::Decided {
+                            txn,
+                            decision: Decision::Abort,
+                            commit_version: None,
+                        },
+                    );
                     if is_participant {
                         // Terminate the local participant too.
                         let actions = self

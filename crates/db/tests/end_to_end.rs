@@ -3,7 +3,7 @@
 use qbc_core::{Decision, LocalState, ProtocolKind, SiteVotes, TxnId, WriteSet};
 use qbc_db::{build_cluster, NodeConfig, SiteNode};
 use qbc_simnet::{sites, DelayModel, Duration, Sim, SimConfig, SiteId, Time};
-use qbc_votes::{CatalogBuilder, Catalog, ItemId};
+use qbc_votes::{Catalog, CatalogBuilder, ItemId};
 
 /// Catalog: one item `x` replicated at s0..s4 (unit votes, r=2, w=4).
 fn small_catalog() -> Catalog {
@@ -36,12 +36,7 @@ fn sim_with(
 
 fn begin(sim: &mut Sim<SiteNode>, at: Time, site: SiteId, txn: u64, value: i64, p: ProtocolKind) {
     sim.schedule_call(at, site, move |node, ctx| {
-        node.begin_transaction(
-            ctx,
-            TxnId(txn),
-            WriteSet::new([(ItemId(0), value)]),
-            p,
-        );
+        node.begin_transaction(ctx, TxnId(txn), WriteSet::new([(ItemId(0), value)]), p);
     });
 }
 
@@ -62,13 +57,15 @@ fn assert_all_aborted(sim: &Sim<SiteNode>, txn: TxnId) {
 }
 
 fn assert_consistent(sim: &Sim<SiteNode>, txn: TxnId) {
-    let set: std::collections::BTreeSet<Decision> = sim
-        .nodes()
-        .filter_map(|(_, n)| n.decision(txn))
-        .collect();
+    let set: std::collections::BTreeSet<Decision> =
+        sim.nodes().filter_map(|(_, n)| n.decision(txn)).collect();
     assert!(set.len() <= 1, "atomicity violated: {set:?}");
     for (s, n) in sim.nodes() {
-        assert!(n.violations().is_empty(), "violations at {s}: {:?}", n.violations());
+        assert!(
+            n.violations().is_empty(),
+            "violations at {s}: {:?}",
+            n.violations()
+        );
     }
 }
 
@@ -97,7 +94,14 @@ fn failure_free_commit_skeen() {
     let catalog = small_catalog();
     let sv = SiteVotes::uniform(sites(5), 3, 3);
     let mut sim = sim_with(&catalog, 5, 3, move |c| c.with_site_votes(sv.clone()));
-    begin(&mut sim, Time(0), SiteId(0), 1, 9, ProtocolKind::SkeenQuorum);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        9,
+        ProtocolKind::SkeenQuorum,
+    );
     sim.run_until(Time(2_000));
     assert_all_committed(&sim, TxnId(1));
     assert_consistent(&sim, TxnId(1));
@@ -162,7 +166,14 @@ fn two_pc_blocks_on_coordinator_crash_after_votes() {
 fn qc1_terminates_after_coordinator_crash_before_prepare() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 17, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 5, ProtocolKind::QuorumCommit1);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        5,
+        ProtocolKind::QuorumCommit1,
+    );
     // Cut the coordinator off after VoteReq delivery but before it can
     // send PREPARE-TO-COMMIT, then crash it: participants are all in W.
     for s in 1..5 {
@@ -184,7 +195,14 @@ fn qc1_terminates_after_coordinator_crash_before_prepare() {
 fn qc2_terminates_after_coordinator_crash_before_prepare() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 19, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 5, ProtocolKind::QuorumCommit2);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        5,
+        ProtocolKind::QuorumCommit2,
+    );
     for s in 1..5 {
         sim.schedule_block_link(Time(11), SiteId(0), SiteId(s));
     }
@@ -206,7 +224,14 @@ fn qc2_terminates_after_coordinator_crash_before_prepare() {
 fn crashed_participant_recovers_and_learns_commit() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 23, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 77, ProtocolKind::QuorumCommit1);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        77,
+        ProtocolKind::QuorumCommit1,
+    );
     // s4 crashes right after voting; the rest commit (w(x)=4 of 5 votes
     // reachable... s4's ack may be missing: commit needs w(x)=4 votes of
     // PC-acks among 5 copies: s0,s1,s2,s3 suffice).
@@ -223,11 +248,21 @@ fn crashed_participant_recovers_and_learns_commit() {
 fn partition_heals_and_stragglers_learn_the_outcome() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 29, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 5, ProtocolKind::QuorumCommit1);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        5,
+        ProtocolKind::QuorumCommit1,
+    );
     // Partition away s3, s4 before the prepare round completes there.
     sim.schedule_partition(
         Time(12),
-        vec![vec![SiteId(0), SiteId(1), SiteId(2)], vec![SiteId(3), SiteId(4)]],
+        vec![
+            vec![SiteId(0), SiteId(1), SiteId(2)],
+            vec![SiteId(3), SiteId(4)],
+        ],
     );
     sim.schedule_heal(Time(600));
     sim.run_until(Time(6_000));
@@ -245,7 +280,14 @@ fn partition_heals_and_stragglers_learn_the_outcome() {
 fn quorum_read_returns_latest_committed_value() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 31, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 123, ProtocolKind::QuorumCommit2);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        123,
+        ProtocolKind::QuorumCommit2,
+    );
     sim.schedule_call(Time(1_000), SiteId(2), |node, ctx| {
         node.start_read(ctx, 900, ItemId(0));
     });
@@ -283,9 +325,30 @@ fn quorum_read_fails_while_item_is_pinned_by_blocked_txn() {
 fn sequential_transactions_advance_versions() {
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 41, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 10, ProtocolKind::QuorumCommit2);
-    begin(&mut sim, Time(500), SiteId(1), 2, 20, ProtocolKind::QuorumCommit2);
-    begin(&mut sim, Time(1_000), SiteId(2), 3, 30, ProtocolKind::QuorumCommit2);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        10,
+        ProtocolKind::QuorumCommit2,
+    );
+    begin(
+        &mut sim,
+        Time(500),
+        SiteId(1),
+        2,
+        20,
+        ProtocolKind::QuorumCommit2,
+    );
+    begin(
+        &mut sim,
+        Time(1_000),
+        SiteId(2),
+        3,
+        30,
+        ProtocolKind::QuorumCommit2,
+    );
     sim.run_until(Time(4_000));
     for txn in [1u64, 2, 3] {
         assert_all_committed(&sim, TxnId(txn));
@@ -303,8 +366,22 @@ fn concurrent_conflicting_transactions_no_wait_aborts_one() {
     let mut sim = sim_with(&catalog, 5, 43, |c| c);
     // Two transactions writing x at the same instant from different
     // coordinators: no-wait locking votes no for the loser at each site.
-    begin(&mut sim, Time(0), SiteId(0), 1, 100, ProtocolKind::QuorumCommit1);
-    begin(&mut sim, Time(0), SiteId(4), 2, 200, ProtocolKind::QuorumCommit1);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        100,
+        ProtocolKind::QuorumCommit1,
+    );
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(4),
+        2,
+        200,
+        ProtocolKind::QuorumCommit1,
+    );
     sim.run_until(Time(5_000));
     assert_consistent(&sim, TxnId(1));
     assert_consistent(&sim, TxnId(2));
@@ -330,10 +407,20 @@ fn partitioned_but_alive_coordinator_hands_off_to_termination() {
     // eventually learns after the heal.
     let catalog = small_catalog();
     let mut sim = sim_with(&catalog, 5, 47, |c| c);
-    begin(&mut sim, Time(0), SiteId(0), 1, 5, ProtocolKind::QuorumCommit1);
+    begin(
+        &mut sim,
+        Time(0),
+        SiteId(0),
+        1,
+        5,
+        ProtocolKind::QuorumCommit1,
+    );
     sim.schedule_partition(
         Time(21),
-        vec![vec![SiteId(0)], vec![SiteId(1), SiteId(2), SiteId(3), SiteId(4)]],
+        vec![
+            vec![SiteId(0)],
+            vec![SiteId(1), SiteId(2), SiteId(3), SiteId(4)],
+        ],
     );
     sim.run_until(Time(2_500));
     // Majority side {s1..s4}: 4 votes of x; TP1 terminates it (which
@@ -355,8 +442,21 @@ fn deterministic_replay_same_seed_same_outcome() {
     let catalog = small_catalog();
     let run = |seed: u64| {
         let mut sim = sim_with(&catalog, 5, seed, |c| c);
-        begin(&mut sim, Time(0), SiteId(0), 1, 5, ProtocolKind::QuorumCommit1);
-        sim.schedule_partition(Time(15), vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2), SiteId(3), SiteId(4)]]);
+        begin(
+            &mut sim,
+            Time(0),
+            SiteId(0),
+            1,
+            5,
+            ProtocolKind::QuorumCommit1,
+        );
+        sim.schedule_partition(
+            Time(15),
+            vec![
+                vec![SiteId(0), SiteId(1)],
+                vec![SiteId(2), SiteId(3), SiteId(4)],
+            ],
+        );
         sim.schedule_heal(Time(800));
         sim.run_until(Time(5_000));
         (

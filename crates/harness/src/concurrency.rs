@@ -110,19 +110,15 @@ pub fn enumerate() -> ConcurrencyRelation {
         for (pi, shape) in partition_shapes().iter().enumerate() {
             for crash_coord in [false, true] {
                 for script in scripts {
-                    let mut s = Scenario::new(
-                        "e5",
-                        catalog.clone(),
-                        (1..=6).map(SiteId).collect(),
-                    )
-                    .constant_delays()
-                    .submit(
-                        Time(0),
-                        SiteId(1),
-                        1,
-                        WriteSet::new([(ItemId(0), 1)]),
-                        ProtocolKind::ThreePhase,
-                    );
+                    let mut s = Scenario::new("e5", catalog.clone(), (1..=6).map(SiteId).collect())
+                        .constant_delays()
+                        .submit(
+                            Time(0),
+                            SiteId(1),
+                            1,
+                            WriteSet::new([(ItemId(0), 1)]),
+                            ProtocolKind::ThreePhase,
+                        );
                     s.record_trace = false;
                     match script {
                         Script::Clean => {}
@@ -174,9 +170,7 @@ pub fn enumerate() -> ConcurrencyRelation {
                             observed.push(ps);
                         }
                     }
-                    let witness = format!(
-                        "t={t} shape#{pi} crash={crash_coord} script={script:?}"
-                    );
+                    let witness = format!("t={t} shape#{pi} crash={crash_coord} script={script:?}");
                     for i in 0..observed.len() {
                         for j in (i + 1)..observed.len() {
                             rel.record(observed[i], observed[j], &witness);

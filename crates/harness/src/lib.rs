@@ -17,12 +17,15 @@
 //! * [`audit`] — Fig. 6 transition-conformance audits (E6).
 //! * [`workload`] — multi-transaction streams: contention, throughput,
 //!   mid-stream failures (E11).
+//! * [`cluster_load`] — concurrent client sessions against the sharded
+//!   cluster runtime of `qbc-cluster` (E13).
 //! * [`table`] — plain-text table rendering for experiment binaries.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod audit;
+pub mod cluster_load;
 pub mod concurrency;
 pub mod latency;
 pub mod montecarlo;

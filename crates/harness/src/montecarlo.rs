@@ -145,12 +145,13 @@ pub fn random_failure_scenario(
 
     let writeset = WriteSet::new((0..cfg.n_items).map(|i| (ItemId(i), 100 + i as i64)));
     let coordinator = SiteId(0);
-    let mut s = Scenario::new(
-        format!("mc/{}", protocol.name()),
-        catalog,
-        all.clone(),
-    )
-    .submit(Time(0), coordinator, 1, writeset, protocol);
+    let mut s = Scenario::new(format!("mc/{}", protocol.name()), catalog, all.clone()).submit(
+        Time(0),
+        coordinator,
+        1,
+        writeset,
+        protocol,
+    );
     s.seed = seed;
     s.record_trace = false;
     s.min_delay = Duration(1);
@@ -177,11 +178,7 @@ pub fn random_failure_scenario(
 }
 
 /// Runs one randomized failure scenario.
-pub fn random_failure_run(
-    protocol: ProtocolKind,
-    cfg: &MonteCarloConfig,
-    seed: u64,
-) -> RunStats {
+pub fn random_failure_run(protocol: ProtocolKind, cfg: &MonteCarloConfig, seed: u64) -> RunStats {
     let catalog = cfg.catalog();
     let out = random_failure_scenario(protocol, cfg, seed).run();
 
@@ -192,8 +189,7 @@ pub fn random_failure_run(
         fully_decided: v.undecided.is_empty(),
         any_undecided: !v.undecided.is_empty(),
         any_blocked: !v.blocked.is_empty() || !v.undecided.is_empty(),
-        violated: !v.consistent
-            || out.sim.nodes().any(|(_, n)| !n.violations().is_empty()),
+        violated: !v.consistent || out.sim.nodes().any(|(_, n)| !n.violations().is_empty()),
         readable_frac: if pairs > 0.0 {
             report.readable_pairs() as f64 / pairs
         } else {
@@ -246,14 +242,10 @@ pub fn vulnerable_at(protocol: ProtocolKind, t: u64, seed: u64) -> bool {
     let mut rng = SmallRng::seed_from_u64(seed);
     let comps = random_components(&mut rng, &all, 2);
     let writeset = WriteSet::new((0..cfg.n_items).map(|i| (ItemId(i), 7)));
-    let mut s = Scenario::new(
-        format!("vuln/{}", protocol.name()),
-        catalog,
-        all,
-    )
-    .submit(Time(0), SiteId(0), 1, writeset, protocol)
-    .fault(Time(t), Fault::Crash(SiteId(0)))
-    .fault(Time(t), Fault::Partition(comps));
+    let mut s = Scenario::new(format!("vuln/{}", protocol.name()), catalog, all)
+        .submit(Time(0), SiteId(0), 1, writeset, protocol)
+        .fault(Time(t), Fault::Crash(SiteId(0)))
+        .fault(Time(t), Fault::Partition(comps));
     s.seed = seed;
     s.record_trace = false;
     s.min_delay = Duration(1);
@@ -287,7 +279,8 @@ mod tests {
         ] {
             let agg = sweep(p, &cfg, 25);
             assert_eq!(
-                agg.violation_rate, 0.0,
+                agg.violation_rate,
+                0.0,
                 "{} must never violate atomicity",
                 p.name()
             );

@@ -137,20 +137,25 @@ impl Scenario {
         let retry = self.retry_blocked;
         let max_rounds = self.max_termination_rounds;
         let vote_no = self.vote_no.clone();
-        let nodes = build_cluster(self.sites.iter().copied(), &self.catalog, self.t_bound, |mut c| {
-            c.faulty = faulty;
-            c.retry_blocked = retry;
-            c.max_termination_rounds = max_rounds;
-            if let Some(sv) = &site_votes {
-                c = c.with_site_votes(sv.clone());
-            }
-            if let Some(nos) = vote_no.get(&c.site) {
-                for t in nos {
-                    c = c.vote_no(*t);
+        let nodes = build_cluster(
+            self.sites.iter().copied(),
+            &self.catalog,
+            self.t_bound,
+            |mut c| {
+                c.faulty = faulty;
+                c.retry_blocked = retry;
+                c.max_termination_rounds = max_rounds;
+                if let Some(sv) = &site_votes {
+                    c = c.with_site_votes(sv.clone());
                 }
-            }
-            c
-        });
+                if let Some(nos) = vote_no.get(&c.site) {
+                    for t in nos {
+                        c = c.vote_no(*t);
+                    }
+                }
+                c
+            },
+        );
         let mut sim = Sim::new(
             SimConfig {
                 seed: self.seed,
@@ -265,7 +270,10 @@ impl ScenarioOutcome {
 
     /// Verdicts for all submitted transactions.
     pub fn verdicts(&self) -> Vec<TxnVerdict> {
-        self.submissions.iter().map(|s| self.verdict(s.txn)).collect()
+        self.submissions
+            .iter()
+            .map(|s| self.verdict(s.txn))
+            .collect()
     }
 
     /// True when no transaction was terminated inconsistently and no
@@ -400,10 +408,10 @@ mod tests {
     #[test]
     fn live_components_exclude_crashed_sites() {
         let out = Scenario::new("comp", catalog(), sites(4))
-            .fault(Time(5), Fault::Partition(vec![
-                vec![SiteId(0), SiteId(1)],
-                vec![SiteId(2), SiteId(3)],
-            ]))
+            .fault(
+                Time(5),
+                Fault::Partition(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2), SiteId(3)]]),
+            )
             .fault(Time(6), Fault::Crash(SiteId(1)))
             .run();
         let comps = out.live_components();

@@ -189,9 +189,9 @@ mod tests {
         for p in ProtocolKind::ALL {
             let cfg = WorkloadConfig {
                 protocol: p,
-                n_items: 2,          // high contention
+                n_items: 2, // high contention
                 items_per_txn: 2,
-                interarrival: 40,    // heavy overlap
+                interarrival: 40, // heavy overlap
                 n_txns: 25,
                 ..Default::default()
             };

@@ -38,8 +38,11 @@ mod proptests {
 
     fn arb_op() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0u8..6, 0u8..4, proptest::bool::ANY)
-                .prop_map(|(txn, res, exclusive)| Op::Acquire { txn, res, exclusive }),
+            (0u8..6, 0u8..4, proptest::bool::ANY).prop_map(|(txn, res, exclusive)| Op::Acquire {
+                txn,
+                res,
+                exclusive
+            }),
             (0u8..6).prop_map(|txn| Op::ReleaseAll { txn }),
         ]
     }

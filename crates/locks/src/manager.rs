@@ -129,7 +129,10 @@ where
 
     /// The mode `txn` currently holds on `res`, if any.
     pub fn holds(&self, txn: &T, res: &R) -> Option<LockMode> {
-        self.table.get(res).and_then(|e| e.holders.get(txn)).copied()
+        self.table
+            .get(res)
+            .and_then(|e| e.holders.get(txn))
+            .copied()
     }
 
     /// True when any transaction holds any lock on `res`.
@@ -252,9 +255,7 @@ where
         let resources: Vec<R> = self
             .table
             .iter()
-            .filter(|(_, e)| {
-                e.holders.contains_key(txn) || e.queue.iter().any(|r| &r.txn == txn)
-            })
+            .filter(|(_, e)| e.holders.contains_key(txn) || e.queue.iter().any(|r| &r.txn == txn))
             .map(|(r, _)| r.clone())
             .collect();
         let mut granted = Vec::new();
@@ -266,7 +267,12 @@ where
 
     /// Grants queued requests that have become compatible (front-first,
     /// stopping at the first request that cannot be granted).
-    fn pump(res: &R, entry: &mut Entry<T>, granted: &mut Vec<Granted<R, T>>, stats: &mut LockStats) {
+    fn pump(
+        res: &R,
+        entry: &mut Entry<T>,
+        granted: &mut Vec<Granted<R, T>>,
+        stats: &mut LockStats,
+    ) {
         while let Some(front) = entry.queue.front() {
             let ok = if front.upgrade {
                 // Upgrade can proceed when the requester is the only holder.
@@ -328,10 +334,7 @@ where
     pub fn check_invariants(&self) -> Result<(), String> {
         for (res, e) in &self.table {
             let modes: Vec<&LockMode> = e.holders.values().collect();
-            let exclusives = modes
-                .iter()
-                .filter(|m| ***m == LockMode::Exclusive)
-                .count();
+            let exclusives = modes.iter().filter(|m| ***m == LockMode::Exclusive).count();
             if exclusives > 0 && e.holders.len() > 1 {
                 return Err(format!(
                     "resource {res:?} has {} holders alongside an X lock",
@@ -361,9 +364,18 @@ mod tests {
     #[test]
     fn exclusive_conflicts_queue_fifo() {
         let mut lm = Lm::new();
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(2, "x", LockMode::Exclusive), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(3, "x", LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, "x", LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(3, "x", LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         let granted = lm.release_all(&1);
         assert_eq!(granted.len(), 1);
         assert_eq!(granted[0].txn, 2, "FIFO: txn 2 first");
@@ -397,7 +409,7 @@ mod tests {
         let mut lm = Lm::new();
         lm.acquire(1, "x", LockMode::Shared);
         lm.acquire(2, "x", LockMode::Exclusive); // queued
-        // A later shared request must not jump over the queued X.
+                                                 // A later shared request must not jump over the queued X.
         assert_eq!(lm.acquire(3, "x", LockMode::Shared), LockOutcome::Waiting);
         let granted = lm.release_all(&1);
         assert_eq!(granted[0].txn, 2);
@@ -409,7 +421,10 @@ mod tests {
         let mut lm = Lm::new();
         lm.acquire(1, "x", LockMode::Exclusive);
         assert_eq!(lm.acquire(1, "x", LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.holds(&1, &"x"), Some(LockMode::Exclusive));
     }
 
@@ -417,7 +432,10 @@ mod tests {
     fn sole_holder_upgrade_is_immediate() {
         let mut lm = Lm::new();
         lm.acquire(1, "x", LockMode::Shared);
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.holds(&1, &"x"), Some(LockMode::Exclusive));
         assert_eq!(lm.stats().upgrades, 1);
     }
@@ -428,7 +446,10 @@ mod tests {
         lm.acquire(1, "x", LockMode::Shared);
         lm.acquire(2, "x", LockMode::Shared);
         lm.acquire(3, "x", LockMode::Exclusive); // queued behind both
-        assert_eq!(lm.acquire(1, "x", LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(1, "x", LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         // When txn 2 releases, the upgrade (front of queue) wins over txn 3.
         let granted = lm.release_all(&2);
         assert_eq!(granted.len(), 1);

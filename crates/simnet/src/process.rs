@@ -41,7 +41,12 @@ pub trait Process {
     );
 
     /// Invoked when a timer set by this process fires.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, id: TimerId, timer: Self::Timer);
+    fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        id: TimerId,
+        timer: Self::Timer,
+    );
 
     /// Invoked when the site crashes. Implementations should discard
     /// volatile state here; durable state must survive.
@@ -58,8 +63,15 @@ pub trait Process {
 /// Buffered effect emitted by a handler, applied by the driver afterwards.
 #[derive(Debug)]
 pub(crate) enum Effect<M, T> {
-    Send { to: SiteId, msg: M },
-    SetTimer { id: TimerId, delay: Duration, timer: T },
+    Send {
+        to: SiteId,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: Duration,
+        timer: T,
+    },
     CancelTimer(TimerId),
     Annotate(String),
 }

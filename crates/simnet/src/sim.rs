@@ -389,10 +389,8 @@ impl<N: Process> Sim<N> {
                 }
                 self.stats.timers_fired += 1;
                 if self.config.record_trace {
-                    self.trace.push(TraceEvent::TimerFired {
-                        at: self.now,
-                        site,
-                    });
+                    self.trace
+                        .push(TraceEvent::TimerFired { at: self.now, site });
                 }
                 self.invoke(site, |n, ctx| n.on_timer(ctx, id, timer));
             }
@@ -401,10 +399,7 @@ impl<N: Process> Sim<N> {
                     self.topology.mark_down(site);
                     *self.epochs.get_mut(&site).expect("unknown site") += 1;
                     if self.config.record_trace {
-                        self.trace.push(TraceEvent::Crashed {
-                            at: self.now,
-                            site,
-                        });
+                        self.trace.push(TraceEvent::Crashed { at: self.now, site });
                     }
                     let now = self.now;
                     if let Some(n) = self.nodes.get_mut(&site) {
@@ -416,10 +411,8 @@ impl<N: Process> Sim<N> {
                 if self.topology.is_down(site) {
                     self.topology.mark_up(site);
                     if self.config.record_trace {
-                        self.trace.push(TraceEvent::Recovered {
-                            at: self.now,
-                            site,
-                        });
+                        self.trace
+                            .push(TraceEvent::Recovered { at: self.now, site });
                     }
                     self.invoke(site, |n, ctx| n.on_recover(ctx));
                 }
@@ -564,7 +557,14 @@ impl<N: Process> Sim<N> {
                         Ok(()) => {
                             let delay = self.config.delay.sample(&mut self.rng);
                             let at = self.now + delay;
-                            self.push(at, EventKind::Deliver { from: site, to, msg });
+                            self.push(
+                                at,
+                                EventKind::Deliver {
+                                    from: site,
+                                    to,
+                                    msg,
+                                },
+                            );
                         }
                         Err(reason) => {
                             self.stats.record_dropped(reason);
@@ -644,7 +644,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, _from: SiteId, msg: Self::Msg) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+            _from: SiteId,
+            msg: Self::Msg,
+        ) {
             let RingMsg::Token(hops) = msg;
             self.received.push(hops);
             if hops + 1 < self.n * 2 {
@@ -653,7 +658,12 @@ mod tests {
             }
         }
 
-        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, _id: TimerId, _t: Self::Timer) {
+        fn on_timer(
+            &mut self,
+            _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+            _id: TimerId,
+            _t: Self::Timer,
+        ) {
             self.timer_fired = true;
         }
     }
@@ -762,7 +772,11 @@ mod tests {
         let q = sim.run_to_quiescence(1000);
         assert!(q.drained());
         assert_eq!(sim.node(SiteId(1)).got, 0, "in-flight message must drop");
-        assert_eq!(sim.node(SiteId(1)).timer, 0, "pre-crash timer must not fire");
+        assert_eq!(
+            sim.node(SiteId(1)).timer,
+            0,
+            "pre-crash timer must not fire"
+        );
         assert_eq!(sim.stats().dropped_receiver_down, 1);
     }
 
@@ -846,7 +860,10 @@ mod tests {
             }
             fn on_timer(&mut self, _c: &mut Ctx<'_, M, ()>, _id: TimerId, _t: ()) {}
         }
-        let mut sim = Sim::new(SimConfig::default(), [(SiteId(0), P::default()), (SiteId(1), P::default())]);
+        let mut sim = Sim::new(
+            SimConfig::default(),
+            [(SiteId(0), P::default()), (SiteId(1), P::default())],
+        );
         sim.schedule_call(Time(5), SiteId(0), |_n, ctx| {
             ctx.send(SiteId(1), M);
         });

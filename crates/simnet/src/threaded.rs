@@ -109,7 +109,10 @@ pub struct ThreadedConfig {
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
-        ThreadedConfig { delay_ms: 1, seed: 0 }
+        ThreadedConfig {
+            delay_ms: 1,
+            seed: 0,
+        }
     }
 }
 

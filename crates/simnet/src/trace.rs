@@ -48,7 +48,11 @@ pub enum TraceEvent {
     /// The network healed to full connectivity.
     Healed { at: Time },
     /// Free-form annotation from a process.
-    Note { at: Time, site: SiteId, text: String },
+    Note {
+        at: Time,
+        site: SiteId,
+        text: String,
+    },
 }
 
 impl TraceEvent {

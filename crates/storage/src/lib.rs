@@ -51,6 +51,81 @@ mod proptests {
             prop_assert_eq!(replayed, expected);
         }
 
+        /// Group commit changes *when* records become durable, never
+        /// *what* the durable log contains: for any interleaving of
+        /// buffered appends, forces, forced appends and crashes, the
+        /// batched WAL replays byte-identically to an unbatched WAL that
+        /// receives each record at its force point.
+        #[test]
+        fn batched_replay_equals_unbatched_replay(
+            ops in proptest::collection::vec((0u8..4, 0u32..100), 0..80)
+        ) {
+            let mut batched: SiteStorage<u32, i64> = SiteStorage::new();
+            let mut unbatched: SiteStorage<u32, i64> = SiteStorage::new();
+            // Records staged in `batched` but not yet forced; the
+            // unbatched reference receives them only at the force.
+            let mut staged: Vec<u32> = Vec::new();
+            for (kind, val) in ops {
+                match kind {
+                    0 => {
+                        batched.log_buffered(val);
+                        staged.push(val);
+                    }
+                    1 => {
+                        let n = batched.force_log();
+                        prop_assert_eq!(n, staged.len());
+                        for r in staged.drain(..) {
+                            unbatched.log(r);
+                        }
+                    }
+                    2 => {
+                        // Forced append: flushes the batch, then itself.
+                        batched.log(val);
+                        for r in staged.drain(..) {
+                            unbatched.log(r);
+                        }
+                        unbatched.log(val);
+                    }
+                    _ => {
+                        // Crash: buffered records die with the site.
+                        batched.crash();
+                        unbatched.crash();
+                        staged.clear();
+                    }
+                }
+                let b: Vec<u32> =
+                    batched.wal().replay().map(|(_, r)| *r).collect();
+                let u: Vec<u32> =
+                    unbatched.wal().replay().map(|(_, r)| *r).collect();
+                prop_assert_eq!(b, u);
+            }
+        }
+
+        /// A force is paid only when records are pending, so the force
+        /// count never exceeds the record count — batching can only
+        /// reduce flushes relative to one-force-per-record.
+        #[test]
+        fn forces_never_exceed_durable_records(
+            ops in proptest::collection::vec((0u8..3, 0u32..100), 0..80)
+        ) {
+            let mut st: SiteStorage<u32, i64> = SiteStorage::new();
+            for (kind, val) in ops {
+                match kind {
+                    0 => {
+                        st.log_buffered(val);
+                    }
+                    1 => {
+                        st.force_log();
+                    }
+                    _ => {
+                        st.log(val);
+                    }
+                }
+            }
+            st.force_log();
+            prop_assert!(st.wal_forces() <= st.wal().len() as u64);
+        }
+
         /// The store never goes backwards: after any sequence of applies,
         /// the stored version equals the maximum successfully applied.
         #[test]

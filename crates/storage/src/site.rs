@@ -33,6 +33,23 @@ impl<R: Clone, V: Clone> SiteStorage<R, V> {
         self.wal.append(record)
     }
 
+    /// Stages a log record for the next [`SiteStorage::force_log`]
+    /// (group commit). Volatile until forced: a crash discards it.
+    pub fn log_buffered(&mut self, record: R) -> Lsn {
+        self.wal.buffer(record)
+    }
+
+    /// Forces every staged log record durable in one flush. Returns the
+    /// number of records flushed (zero: nothing pending, no force paid).
+    pub fn force_log(&mut self) -> usize {
+        self.wal.force()
+    }
+
+    /// Number of WAL forces paid so far.
+    pub fn wal_forces(&self) -> u64 {
+        self.wal.forces()
+    }
+
     /// Read-only view of the log for recovery.
     pub fn wal(&self) -> &Wal<R> {
         &self.wal
@@ -68,10 +85,12 @@ impl<R: Clone, V: Clone> SiteStorage<R, V> {
         self.items.items()
     }
 
-    /// Marks a crash: durable state is retained, the incarnation counter
-    /// is bumped. The caller is responsible for discarding its volatile
-    /// state (the simulator invokes `Process::on_crash`).
+    /// Marks a crash: durable state is retained, buffered (unforced) log
+    /// records are lost, and the incarnation counter is bumped. The
+    /// caller is responsible for discarding its volatile state (the
+    /// simulator invokes `Process::on_crash`).
     pub fn crash(&mut self) {
+        self.wal.lose_volatile();
         self.incarnation += 1;
     }
 

@@ -6,6 +6,17 @@
 //! is durable at return. The in-memory representation is a substitution
 //! for a disk log (see DESIGN.md §2): the protocols depend only on the
 //! *durability contract*, which `crash()`/`replay()` preserve exactly.
+//!
+//! ## Group commit
+//!
+//! A force is the expensive operation on a real log device, and its cost
+//! is per-*flush*, not per-record. [`Wal::buffer`] stages a record
+//! without forcing it; [`Wal::force`] makes every staged record durable
+//! in one flush. Records still buffered when the site crashes are lost
+//! ([`Wal::lose_volatile`]) — exactly the window a node must cover by
+//! withholding acknowledgements until the force returns. [`Wal::forces`]
+//! counts flushes, which is the number a disk-backed log would pay
+//! an fsync for.
 
 use std::fmt;
 
@@ -22,13 +33,20 @@ impl fmt::Display for Lsn {
 /// An append-only, force-written log of records `R`.
 #[derive(Clone, Debug)]
 pub struct Wal<R> {
+    /// Durable records: survive any crash.
     records: Vec<R>,
+    /// Buffered records: staged for the next force, lost on crash.
+    pending: Vec<R>,
+    /// Number of flushes performed (the fsync count of a disk log).
+    forces: u64,
 }
 
 impl<R> Default for Wal<R> {
     fn default() -> Self {
         Wal {
             records: Vec::new(),
+            pending: Vec::new(),
+            forces: 0,
         }
     }
 }
@@ -39,19 +57,58 @@ impl<R: Clone> Wal<R> {
         Self::default()
     }
 
-    /// Force-appends a record; durable on return.
+    /// Force-appends a record; durable on return. Any buffered records
+    /// are flushed first (they precede this one in the log), all in the
+    /// same single force.
     pub fn append(&mut self, record: R) -> Lsn {
-        let lsn = Lsn(self.records.len() as u64);
-        self.records.push(record);
+        self.pending.push(record);
+        self.force();
+        Lsn(self.records.len() as u64 - 1)
+    }
+
+    /// Stages a record for the next [`Wal::force`]. The returned [`Lsn`]
+    /// is the position the record will occupy once forced; until then it
+    /// is volatile and a crash discards it.
+    pub fn buffer(&mut self, record: R) -> Lsn {
+        let lsn = Lsn((self.records.len() + self.pending.len()) as u64);
+        self.pending.push(record);
         lsn
     }
 
-    /// Number of records in the log.
+    /// Flushes every buffered record to durable storage in one force.
+    /// Returns the number of records made durable; zero means the buffer
+    /// was empty and no force was paid.
+    pub fn force(&mut self) -> usize {
+        let n = self.pending.len();
+        if n > 0 {
+            self.records.append(&mut self.pending);
+            self.forces += 1;
+        }
+        n
+    }
+
+    /// Discards buffered (not yet forced) records: the crash semantics
+    /// of the volatile half of the log.
+    pub fn lose_volatile(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of forces (flushes) performed so far.
+    pub fn forces(&self) -> u64 {
+        self.forces
+    }
+
+    /// Number of records staged but not yet durable.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of durable records in the log.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// True when the log holds no records.
+    /// True when the log holds no durable records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -111,6 +168,45 @@ mod tests {
         }
         let tail: Vec<i32> = wal.replay_from(Lsn(3)).map(|(_, r)| *r).collect();
         assert_eq!(tail, vec![3, 4]);
+    }
+
+    #[test]
+    fn buffered_records_are_volatile_until_forced() {
+        let mut wal = Wal::new();
+        wal.buffer("a");
+        wal.buffer("b");
+        assert_eq!(wal.len(), 0);
+        assert_eq!(wal.pending_len(), 2);
+        assert_eq!(wal.force(), 2);
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.forces(), 1);
+        wal.buffer("c");
+        wal.lose_volatile();
+        assert_eq!(wal.force(), 0, "lost records must not be forced");
+        assert_eq!(wal.forces(), 1, "empty force is free");
+        let replayed: Vec<&str> = wal.replay().map(|(_, r)| *r).collect();
+        assert_eq!(replayed, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn append_flushes_buffer_in_one_force() {
+        let mut wal = Wal::new();
+        wal.buffer(1);
+        wal.buffer(2);
+        assert_eq!(wal.append(3), Lsn(2));
+        assert_eq!(wal.forces(), 1);
+        let replayed: Vec<i32> = wal.replay().map(|(_, r)| *r).collect();
+        assert_eq!(replayed, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn buffer_lsn_anticipates_position() {
+        let mut wal = Wal::new();
+        wal.append("x");
+        assert_eq!(wal.buffer("y"), Lsn(1));
+        assert_eq!(wal.buffer("z"), Lsn(2));
+        wal.force();
+        assert_eq!(wal.get(Lsn(2)), Some(&"z"));
     }
 
     #[test]

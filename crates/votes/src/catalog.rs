@@ -253,7 +253,9 @@ mod tests {
         let px = c.participants([ItemId(0)]);
         assert_eq!(
             px,
-            [SiteId(1), SiteId(2), SiteId(3), SiteId(4)].into_iter().collect()
+            [SiteId(1), SiteId(2), SiteId(3), SiteId(4)]
+                .into_iter()
+                .collect()
         );
     }
 

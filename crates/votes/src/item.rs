@@ -112,8 +112,15 @@ impl fmt::Display for VoteError {
             VoteError::WriteMajority { item, write, total } => {
                 write!(f, "item {item}: w({write}) must exceed v({total})/2")
             }
-            VoteError::QuorumTooLarge { item, quorum, total } => {
-                write!(f, "item {item}: quorum {quorum} exceeds total votes {total}")
+            VoteError::QuorumTooLarge {
+                item,
+                quorum,
+                total,
+            } => {
+                write!(
+                    f,
+                    "item {item}: quorum {quorum} exceeds total votes {total}"
+                )
             }
             VoteError::ZeroQuorum(i) => write!(f, "item {i} has a zero quorum"),
             VoteError::DuplicateItem(i) => write!(f, "duplicate item id {i}"),
@@ -157,10 +164,7 @@ impl ItemSpec {
 
     /// Sum of vote weights of copies stored at the given sites.
     pub fn votes_among<'a>(&self, sites: impl IntoIterator<Item = &'a SiteId>) -> u32 {
-        sites
-            .into_iter()
-            .map(|s| self.weight_at(*s))
-            .sum()
+        sites.into_iter().map(|s| self.weight_at(*s)).sum()
     }
 
     /// True when the given sites muster a read quorum for this item.

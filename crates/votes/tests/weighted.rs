@@ -3,7 +3,7 @@
 //! over copy counting.
 
 use qbc_simnet::SiteId;
-use qbc_votes::{analyze, CatalogBuilder, ItemId, ItemAccess};
+use qbc_votes::{analyze, CatalogBuilder, ItemAccess, ItemId};
 use std::collections::BTreeSet;
 
 /// A "primary-biased" assignment: the primary site holds 3 of 6 votes,
@@ -21,35 +21,43 @@ fn primary_biased_weights_shift_quorums() {
         .build()
         .unwrap();
 
-    let with_primary: Vec<BTreeSet<SiteId>> = vec![
-        [SiteId(0), SiteId(1)].into(),
-        [SiteId(2), SiteId(3)].into(),
-    ];
+    let with_primary: Vec<BTreeSet<SiteId>> =
+        vec![[SiteId(0), SiteId(1)].into(), [SiteId(2), SiteId(3)].into()];
     let report = analyze(&catalog, &with_primary, |_, _| false);
     assert_eq!(
         report.per_component[0][&ItemId(0)],
-        ItemAccess { readable: true, writable: true },
+        ItemAccess {
+            readable: true,
+            writable: true
+        },
         "primary + one replica: 4 votes"
     );
     assert_eq!(
         report.per_component[1][&ItemId(0)],
-        ItemAccess { readable: false, writable: false },
+        ItemAccess {
+            readable: false,
+            writable: false
+        },
         "two replicas: 2 votes < r=3"
     );
 
-    let replicas_united: Vec<BTreeSet<SiteId>> = vec![
-        [SiteId(0)].into(),
-        [SiteId(1), SiteId(2), SiteId(3)].into(),
-    ];
+    let replicas_united: Vec<BTreeSet<SiteId>> =
+        vec![[SiteId(0)].into(), [SiteId(1), SiteId(2), SiteId(3)].into()];
     let report = analyze(&catalog, &replicas_united, |_, _| false);
     assert_eq!(
         report.per_component[0][&ItemId(0)],
-        ItemAccess { readable: true, writable: false },
+        ItemAccess {
+            readable: true,
+            writable: false
+        },
         "primary alone: 3 votes = r, < w"
     );
     assert_eq!(
         report.per_component[1][&ItemId(0)],
-        ItemAccess { readable: true, writable: false },
+        ItemAccess {
+            readable: true,
+            writable: false
+        },
         "replicas together: 3 votes = r, < w"
     );
 }
@@ -80,20 +88,25 @@ fn blocking_subtracts_weight() {
         .quorums(3, 4)
         .build()
         .unwrap();
-    let all: Vec<BTreeSet<SiteId>> =
-        vec![(0..4).map(SiteId).collect::<BTreeSet<_>>()];
+    let all: Vec<BTreeSet<SiteId>> = vec![(0..4).map(SiteId).collect::<BTreeSet<_>>()];
 
     let heavy_pinned = analyze(&catalog, &all, |s, _| s == SiteId(0));
     assert_eq!(
         heavy_pinned.per_component[0][&ItemId(0)],
-        ItemAccess { readable: true, writable: false },
+        ItemAccess {
+            readable: true,
+            writable: false
+        },
         "3 light votes: read yes (r=3), write no (w=4)"
     );
 
     let light_pinned = analyze(&catalog, &all, |s, _| s == SiteId(3));
     assert_eq!(
         light_pinned.per_component[0][&ItemId(0)],
-        ItemAccess { readable: true, writable: true },
+        ItemAccess {
+            readable: true,
+            writable: true
+        },
         "5 remaining votes keep both quorums"
     );
 }

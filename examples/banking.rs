@@ -97,7 +97,14 @@ fn main() {
             .nodes()
             .filter_map(|(s, n)| n.decision(TxnId(t)).map(|d| format!("{s}:{d}")))
             .collect();
-        println!("  txn{t}: {}", if ds.is_empty() { "blocked".into() } else { ds.join(" ") });
+        println!(
+            "  txn{t}: {}",
+            if ds.is_empty() {
+                "blocked".into()
+            } else {
+                ds.join(" ")
+            }
+        );
         // Atomicity check: never both commit and abort.
         let set: std::collections::BTreeSet<Decision> = sim
             .nodes()
@@ -107,11 +114,8 @@ fn main() {
     }
 
     // Which accounts does the majority side still serve?
-    let components: Vec<std::collections::BTreeSet<SiteId>> = sim
-        .topology()
-        .components()
-        .into_iter()
-        .collect();
+    let components: Vec<std::collections::BTreeSet<SiteId>> =
+        sim.topology().components().into_iter().collect();
     let report = analyze(&catalog, &components, |site, item| {
         sim.node(site).is_item_locked(item)
     });
@@ -129,7 +133,10 @@ fn main() {
     sim.run_until(Time(4_200));
     match sim.node(SiteId(1)).read_result(7) {
         Some(ReadResult::Success { value, version }) => {
-            println!("quorum read of bob on the majority side: {value} (v{})", version.0);
+            println!(
+                "quorum read of bob on the majority side: {value} (v{})",
+                version.0
+            );
             assert_eq!(value, 80);
         }
         other => println!("bob read: {other:?}"),

@@ -48,8 +48,12 @@ fn main() {
     let out = fig3_scenario(ProtocolKind::QuorumCommit1, 1).run();
     let v = out.verdict(txn);
     let report = out.availability(&example_catalog());
-    let x_g1 = report.at_site(quorum_commit::simnet::SiteId(2), ITEM_X).unwrap();
-    let y_g3 = report.at_site(quorum_commit::simnet::SiteId(6), ITEM_Y).unwrap();
+    let x_g1 = report
+        .at_site(quorum_commit::simnet::SiteId(2), ITEM_X)
+        .unwrap();
+    let y_g3 = report
+        .at_site(quorum_commit::simnet::SiteId(6), ITEM_Y)
+        .unwrap();
     println!(
         "  aborted: {:?}  blocked: {:?}  consistent: {}",
         v.aborted, v.undecided, v.consistent

@@ -12,8 +12,11 @@
 //! * [`election`] — coordinator election within a partition
 //! * [`core`] — the commit & termination protocol state machines
 //! * [`db`] — the distributed database node tying it all together
+//! * [`cluster`] — sharded cluster runtime: client sessions,
+//!   group-commit batching, live metrics
 //! * [`harness`] — scenarios, failure injection, metrics, checkers
 
+pub use qbc_cluster as cluster;
 pub use qbc_core as core;
 pub use qbc_db as db;
 pub use qbc_election as election;

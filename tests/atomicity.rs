@@ -122,7 +122,10 @@ fn three_pc_is_safe_without_partitions() {
     for seed in 0..60u64 {
         let out = random_failure_scenario(ProtocolKind::ThreePhase, &cfg, seed).run();
         let v = out.verdict(TxnId(1));
-        assert!(v.consistent, "3PC must be safe under pure site failures: {v:?}");
+        assert!(
+            v.consistent,
+            "3PC must be safe under pure site failures: {v:?}"
+        );
         assert!(
             v.undecided.is_empty(),
             "3PC must be nonblocking under site failures: {v:?}"

@@ -26,13 +26,13 @@ fn example2_three_pc_splits_the_brain() {
 
 #[test]
 fn example3_wall_rule_matters() {
-    assert!(fig7_scenario(FaultyMode::Correct, 1)
-        .run()
-        .all_consistent());
-    assert!(!fig7_scenario(FaultyMode::AnswerAcrossWall, 1)
-        .run()
-        .verdict(TxnId(TR))
-        .consistent);
+    assert!(fig7_scenario(FaultyMode::Correct, 1).run().all_consistent());
+    assert!(
+        !fig7_scenario(FaultyMode::AnswerAcrossWall, 1)
+            .run()
+            .verdict(TxnId(TR))
+            .consistent
+    );
 }
 
 #[test]

@@ -85,8 +85,7 @@ fn double_crash_still_converges() {
         .iter()
         .map(|&x| s.node(x).decision(TxnId(1)))
         .collect();
-    let set: std::collections::BTreeSet<Decision> =
-        decisions.iter().flatten().copied().collect();
+    let set: std::collections::BTreeSet<Decision> = decisions.iter().flatten().copied().collect();
     assert!(set.len() <= 1, "mixed decisions: {decisions:?}");
     assert!(
         decisions.iter().all(|d| d.is_some()),

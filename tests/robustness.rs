@@ -139,20 +139,29 @@ fn partition_churn_is_survivable() {
         s.seed = seed;
         // Three split/heal cycles with different shapes.
         s = s
-            .fault(Time(12), Fault::Partition(vec![
-                vec![SiteId(0), SiteId(1)],
-                vec![SiteId(2), SiteId(3), SiteId(4)],
-            ]))
+            .fault(
+                Time(12),
+                Fault::Partition(vec![
+                    vec![SiteId(0), SiteId(1)],
+                    vec![SiteId(2), SiteId(3), SiteId(4)],
+                ]),
+            )
             .fault(Time(400), Fault::Heal)
-            .fault(Time(500), Fault::Partition(vec![
-                vec![SiteId(0), SiteId(3), SiteId(4)],
-                vec![SiteId(1), SiteId(2)],
-            ]))
+            .fault(
+                Time(500),
+                Fault::Partition(vec![
+                    vec![SiteId(0), SiteId(3), SiteId(4)],
+                    vec![SiteId(1), SiteId(2)],
+                ]),
+            )
             .fault(Time(900), Fault::Heal)
-            .fault(Time(1_000), Fault::Partition(vec![
-                vec![SiteId(0)],
-                vec![SiteId(1), SiteId(2), SiteId(3), SiteId(4)],
-            ]))
+            .fault(
+                Time(1_000),
+                Fault::Partition(vec![
+                    vec![SiteId(0)],
+                    vec![SiteId(1), SiteId(2), SiteId(3), SiteId(4)],
+                ]),
+            )
             .fault(Time(1_500), Fault::Heal);
         s.run_until = Time(12_000);
         let out = s.run();

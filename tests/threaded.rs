@@ -70,9 +70,14 @@ fn threaded_cluster_commits_failure_free() {
         }
     }
 
-    let wrapped: Vec<(SiteId, Kickoff)> =
-        nodes.drain(..).map(|(s, n)| (s, Kickoff(n))).collect();
-    let net = ThreadedNet::spawn(ThreadedConfig { delay_ms: 1, seed: 7 }, wrapped);
+    let wrapped: Vec<(SiteId, Kickoff)> = nodes.drain(..).map(|(s, n)| (s, Kickoff(n))).collect();
+    let net = ThreadedNet::spawn(
+        ThreadedConfig {
+            delay_ms: 1,
+            seed: 7,
+        },
+        wrapped,
+    );
 
     // Real time: the commit needs a handful of 1 ms hops; one second is
     // a generous margin even on loaded CI machines.

@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps `cargo bench` working without crates.io access: same macro
+//! surface (`criterion_group!`, `criterion_main!`, `black_box`,
+//! `Criterion::bench_function`, `Bencher::iter`), but measurement is a
+//! plain calibrated wall-clock loop with mean/min reporting — no
+//! statistics engine, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    target: Duration,
+    /// (total elapsed, iterations) recorded by the last `iter` call.
+    sample: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count that fills the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: double until one batch takes >= 1% of the window.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.target / 100 || batch >= 1 << 20 {
+                break dt.max(Duration::from_nanos(1)) / (batch as u32).max(1);
+            }
+            batch *= 2;
+        };
+        let iters =
+            (self.target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.sample = Some((t0.elapsed(), iters));
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(200),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            target: self.target,
+            sample: None,
+        };
+        f(&mut b);
+        match b.sample {
+            Some((elapsed, iters)) => {
+                let mean = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<50} {:>12}/iter ({iters} iters)", fmt_ns(mean));
+            }
+            None => println!("{name:<50} (no measurement: body never called iter)"),
+        }
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a set of [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

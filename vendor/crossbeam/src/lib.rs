@@ -1,0 +1,8 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` subset the threaded transport uses,
+//! implemented over `std::sync::mpsc`. Semantics preserved: unbounded and
+//! bounded (blocking-on-full) sends, timeout receives, disconnect
+//! detection, clonable senders.
+
+pub mod channel;

@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy type of [`ANY`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+/// Uniformly random booleans.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — [`strategy::Strategy`] with `prop_map`/`prop_flat_map`,
+//! range/tuple/`Just`/union strategies, [`collection::vec`],
+//! [`bool::ANY`], the `proptest!`/`prop_oneof!`/`prop_assert*!` macros and
+//! [`test_runner::ProptestConfig`] — over the vendored `rand`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking.** A failing case reports its seed and the formatted
+//!   assertion message; re-running is deterministic, so the case is
+//!   reproducible but not minimized.
+//! * **Fixed per-case seeding.** Case `i` of every test draws from a
+//!   seed derived from `i` alone, so runs are stable across machines.
+//! * `prop_assume!` skips the case instead of resampling.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Entry point macro: expands each `#[test] fn name(pat in strategy, ..)`
+/// into a plain test that runs `cases` random instantiations of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::rng_for_case(__case);
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                        )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            __case + 1,
+                            __config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses among several strategies, optionally weighted
+/// (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let mut __union = $crate::strategy::Union::new();
+        $(
+            {
+                let __s = $strat;
+                __union.push($weight as u32, ::std::boxed::Box::new(
+                    move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::new_value(&__s, rng)
+                    },
+                ));
+            }
+        )+
+        __union
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+/// (Real proptest resamples; the stub just passes the case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

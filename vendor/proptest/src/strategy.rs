@@ -1,0 +1,212 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of an associated type.
+///
+/// Unlike real proptest there is no value tree: `new_value` draws a
+/// fresh value directly, and failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// A boxed generator arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Weighted choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, UnionArm<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// An empty union (drawing from it panics until an arm is pushed).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            arms: Vec::new(),
+            total_weight: 0,
+        }
+    }
+
+    /// Adds one weighted arm.
+    pub fn push(&mut self, weight: u32, arm: UnionArm<T>) {
+        assert!(weight > 0, "prop_oneof weight must be positive");
+        self.arms.push((weight, arm));
+        self.total_weight += weight as u64;
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof with no arms");
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights cover the draw range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_case;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for_case(0);
+        for _ in 0..200 {
+            let v = (3u32..10).new_value(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (1u64..=3).new_value(&mut rng);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng_for_case(1);
+        let s = (1u32..5).prop_map(|x| x * 10).prop_flat_map(|x| x..x + 3);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((10..43).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = rng_for_case(2);
+        let mut u = Union::new();
+        u.push(1, Box::new(|_rng: &mut TestRng| 1u8));
+        u.push(3, Box::new(|_rng: &mut TestRng| 2u8));
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng_for_case(3);
+        let (a, b, c) = (0u8..2, 5u32..6, Just("x")).new_value(&mut rng);
+        assert!(a < 2);
+        assert_eq!(b, 5);
+        assert_eq!(c, "x");
+    }
+}

@@ -1,0 +1,94 @@
+//! Test execution support: configuration, case RNGs, failure type.
+
+use std::fmt;
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only `cases` is honored by the stub; the other fields exist so struct
+/// literals written against real proptest keep compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; ignored.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // fast while still exercising the properties broadly.
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Deterministic RNG for case number `case`: stable across machines and
+/// runs, so failures are reproducible by case index.
+pub fn rng_for_case(case: u32) -> TestRng {
+    TestRng::seed_from_u64(0x5EED_CA5E ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod run {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro pipeline works end to end, including tuple patterns
+        /// and early `return Ok(())`.
+        #[test]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10), flip in crate::bool::ANY) {
+            if flip {
+                return Ok(());
+            }
+            prop_assume!(a + b < 100);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    // Declared without a #[test] meta so it runs only when invoked by
+    // the should_panic test below.
+    proptest! {
+        fn always_failing_property(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        always_failing_property();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its message and id
+//! types so they are wire-ready, but nothing in-tree serializes yet and
+//! the build container has no crates.io access. This crate keeps the
+//! derive sites compiling: the traits are markers and the derive macros
+//! (from the sibling `serde_derive` stub) emit empty impls. When a real
+//! wire format lands, swap this path dependency for the real `serde`
+//! without touching any derive site.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type is intended to be serializable.
+pub trait Serialize {}
+
+/// Marker: the type is intended to be deserializable.
+pub trait Deserialize<'de>: Sized {}

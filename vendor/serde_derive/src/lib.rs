@@ -1,0 +1,65 @@
+//! Derive half of the offline `serde` stand-in.
+//!
+//! Parses just enough of the item token stream to find the type name and
+//! emits empty impls of the marker traits. Written without `syn`/`quote`
+//! because the build container has no crates.io access. Supports the
+//! non-generic structs and enums this workspace derives on; deriving on
+//! a generic type is a compile error with a clear message.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive was applied to.
+/// Returns `Err` with a message when the item is generic or unparseable.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => return Err(format!("expected type name, found {other:?}")),
+                    };
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "the offline serde stub cannot derive on generic type `{name}`"
+                        ));
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)`, etc.: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum found in derive input".into())
+}
+
+fn marker_impls(input: TokenStream, imp: &str) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => imp
+            .replace("$name", &name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impls(input, "impl ::serde::Serialize for $name {}")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impls(input, "impl<'de> ::serde::Deserialize<'de> for $name {}")
+}
