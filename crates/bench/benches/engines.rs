@@ -23,9 +23,15 @@ fn catalog(n_items: u32, copies: u32) -> Catalog {
     b.build().unwrap()
 }
 
-fn spec(catalog: &Catalog, n_items: u32, protocol: ProtocolKind) -> TxnSpec {
+fn spec(catalog: &Catalog, n_items: u32, protocol: ProtocolKind) -> std::sync::Arc<TxnSpec> {
     let ws = WriteSet::new((0..n_items).map(|i| (ItemId(i), i as i64)));
-    TxnSpec::from_catalog(TxnId(1), SiteId(0), ws, protocol, catalog)
+    std::sync::Arc::new(TxnSpec::from_catalog(
+        TxnId(1),
+        SiteId(0),
+        ws,
+        protocol,
+        catalog,
+    ))
 }
 
 fn bench_participant(c: &mut Criterion) {

@@ -1,0 +1,65 @@
+//! B4 — message fan-out cost: what one `VOTE-REQ` broadcast pays per
+//! recipient.
+//!
+//! Phase 1 of every protocol variant ships the transaction spec to all
+//! participants. Since the Arc-sharing refactor the per-recipient cost
+//! is a refcount bump; the `deep_clone` rows measure what the old wire
+//! format paid (a full `TxnSpec` copy, `BTreeMap` writeset included)
+//! for comparison. The gap is the per-message saving, and it grows with
+//! the writeset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qbc_core::{Msg, ProtocolKind, TxnId, TxnSpec, WriteSet};
+use qbc_simnet::SiteId;
+use qbc_votes::ItemId;
+use std::sync::Arc;
+
+const FANOUT: usize = 12;
+
+fn spec(n_items: u32) -> Arc<TxnSpec> {
+    Arc::new(TxnSpec {
+        id: TxnId(1),
+        coordinator: SiteId(0),
+        writeset: WriteSet::new((0..n_items).map(|i| (ItemId(i), i as i64))),
+        participants: (0..FANOUT as u32).map(SiteId).collect(),
+        protocol: ProtocolKind::QuorumCommit1,
+    })
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    for n_items in [2u32, 16, 64] {
+        let sp = spec(n_items);
+        let msg = Msg::VoteReq {
+            spec: Arc::clone(&sp),
+        };
+        c.bench_function(&format!("msg_fanout/arc_share/{n_items}items"), |b| {
+            b.iter(|| {
+                for _ in 0..FANOUT {
+                    black_box(msg.clone());
+                }
+            })
+        });
+        c.bench_function(&format!("msg_fanout/deep_clone/{n_items}items"), |b| {
+            b.iter(|| {
+                for _ in 0..FANOUT {
+                    black_box(TxnSpec::clone(&sp));
+                }
+            })
+        });
+    }
+}
+
+fn bench_broadcast_build(c: &mut Criterion) {
+    // The full coordinator kickoff: spec build + log record + broadcast
+    // actions — the per-transaction (not per-recipient) fixed cost.
+    let sp = spec(16);
+    c.bench_function("msg_fanout/coordinator_start/16items", |b| {
+        b.iter(|| {
+            let mut coord = qbc_core::Coordinator::new(Arc::clone(&sp), None);
+            black_box(coord.start())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fanout, bench_broadcast_build);
+criterion_main!(benches);

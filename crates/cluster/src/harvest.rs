@@ -50,35 +50,48 @@ pub(crate) fn harvest(
     for h in handles {
         let m = &mut shards[h.shard.0 as usize];
         m.submitted += 1;
-        let mut committed_at = Vec::new();
-        let mut aborted_at = Vec::new();
+        // Counting pass only: the harvest runs per submitted handle on
+        // every metrics sample, so it must not grow per-transaction
+        // vectors. Site lists are materialized only for the (never, in
+        // correct runs) case of an actual atomicity violation.
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
         let mut blocked = false;
         let mut known = false;
-        for site in map.sites_of(h.shard) {
+        for site in map.sites_iter(h.shard) {
             let Some(node) = nodes.get(&site) else {
                 continue;
             };
             match node.decision(h.txn) {
-                Some(Decision::Commit) => committed_at.push(site),
-                Some(Decision::Abort) => aborted_at.push(site),
+                Some(Decision::Commit) => commits += 1,
+                Some(Decision::Abort) => aborts += 1,
                 None => {}
             }
             known |= node.local_state(h.txn).is_some();
             blocked |= node.is_blocked(h.txn);
         }
-        if !committed_at.is_empty() && !aborted_at.is_empty() {
+        if commits > 0 && aborts > 0 {
+            let decided_at = |d: Decision| {
+                map.sites_iter(h.shard)
+                    .filter(|site| {
+                        nodes
+                            .get(site)
+                            .is_some_and(|n| n.decision(h.txn) == Some(d))
+                    })
+                    .collect()
+            };
             violations.push(AtomicityViolation {
                 txn: h.txn,
-                committed_at: committed_at.clone(),
-                aborted_at: aborted_at.clone(),
+                committed_at: decided_at(Decision::Commit),
+                aborted_at: decided_at(Decision::Abort),
             });
         }
         if blocked {
             m.blocked += 1;
         }
-        if !committed_at.is_empty() {
+        if commits > 0 {
             m.committed += 1;
-        } else if !aborted_at.is_empty() {
+        } else if aborts > 0 {
             m.aborted += 1;
         } else if known || now <= h.submitted_at {
             m.undecided += 1;
@@ -99,7 +112,7 @@ pub(crate) fn harvest(
     }
 
     for (i, m) in shards.iter_mut().enumerate() {
-        for site in map.sites_of(ShardId(i as u32)) {
+        for site in map.sites_iter(ShardId(i as u32)) {
             if let Some(node) = nodes.get(&site) {
                 m.wal_forces += node.wal_forces();
                 m.wal_records += node.wal_len() as u64;

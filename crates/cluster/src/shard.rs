@@ -81,8 +81,15 @@ impl ShardMap {
 
     /// The sites of one shard, in id order.
     pub fn sites_of(&self, shard: ShardId) -> Vec<SiteId> {
+        self.sites_iter(shard).collect()
+    }
+
+    /// The sites of one shard as an iterator (no allocation; placement
+    /// is arithmetic). The per-transaction paths — status polls and
+    /// metric harvests — use this instead of [`ShardMap::sites_of`].
+    pub fn sites_iter(&self, shard: ShardId) -> impl Iterator<Item = SiteId> {
         let base = shard.0 * self.sites_per_shard;
-        (base..base + self.sites_per_shard).map(SiteId).collect()
+        (base..base + self.sites_per_shard).map(SiteId)
     }
 
     /// The `n`-th coordinator choice of a shard (round-robin placement).

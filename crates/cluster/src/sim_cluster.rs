@@ -223,8 +223,7 @@ impl SimCluster {
             return Some(d);
         }
         self.map
-            .sites_of(h.shard)
-            .into_iter()
+            .sites_iter(h.shard)
             .find_map(|s| self.sim.node(s).decision(h.txn))
     }
 
@@ -236,8 +235,7 @@ impl SimCluster {
             None => {
                 let known = self
                     .map
-                    .sites_of(h.shard)
-                    .into_iter()
+                    .sites_iter(h.shard)
                     .any(|s| self.sim.node(s).local_state(h.txn).is_some());
                 // A down coordinator may hold the transaction durably in
                 // its WAL and revive it on recovery: stay Pending until

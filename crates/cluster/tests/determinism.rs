@@ -1,0 +1,103 @@
+//! Golden-digest determinism regression: a fixed-seed cluster scenario
+//! must reproduce the exact same ordered decisions (and decision times)
+//! forever. Perf refactors of the hot path (message sharing, event-loop
+//! allocation changes) must not perturb the event order; this test
+//! pins it.
+//!
+//! If this test fails after an intentional semantic change (new message
+//! round, different timer arithmetic), re-derive the digest by running
+//! the scenario with `QBC_PRINT_DIGEST=1` and update the constant —
+//! with a commit message explaining *why* the schedule changed.
+
+use qbc_cluster::{ClusterConfig, SimCluster};
+use qbc_core::{Decision, WriteSet};
+use qbc_simnet::{SiteId, Time};
+use qbc_votes::ItemId;
+
+/// The pinned digest of `scenario()` (see module docs for re-deriving).
+const GOLDEN_DIGEST: u64 = 0x2bb70a66ca8e2556;
+
+fn fnv1a(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic mixed scenario: two shards under load, a crash and
+/// recovery mid-stream (exercising the termination/election paths), no
+/// RNG outside the seeded simulator.
+fn scenario() -> u64 {
+    let cfg = ClusterConfig {
+        shards: 2,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 12,
+        seed: 42,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::new(cfg);
+    // Site 1 (shard 0) fails under load and comes back.
+    cluster.sim_mut().schedule_crash(Time(120), SiteId(1));
+    cluster.sim_mut().schedule_recover(Time(700), SiteId(1));
+
+    let per_shard = 12u64;
+    for i in 0..48u64 {
+        let shard = (i % 2) as u32;
+        let base = shard as u64 * per_shard;
+        let a = ItemId((base + i % per_shard) as u32);
+        let b = ItemId((base + (i * 5 + 1) % per_shard) as u32);
+        let ws = if a == b {
+            WriteSet::new([(a, i as i64)])
+        } else {
+            WriteSet::new([(a, i as i64), (b, (i * 31) as i64)])
+        };
+        cluster.submit_at(Time(i * 17), ws);
+    }
+    for _ in 0..50 {
+        if cluster.run_to_quiescence(5_000_000).drained() {
+            break;
+        }
+    }
+
+    let mut digest = 0xcbf29ce484222325u64;
+    let handles: Vec<_> = cluster.handles().to_vec();
+    for h in &handles {
+        let d = match cluster.decision(h) {
+            Some(Decision::Commit) => 1u64,
+            Some(Decision::Abort) => 2,
+            None => 3,
+        };
+        let at = cluster
+            .sim()
+            .node(h.coordinator)
+            .decided_at(h.txn)
+            .map_or(0, |t| t.0);
+        digest = fnv1a(digest, h.txn.0);
+        digest = fnv1a(digest, d);
+        digest = fnv1a(digest, at);
+    }
+    digest = fnv1a(digest, cluster.now().0);
+    digest = fnv1a(digest, cluster.sim().events_processed());
+    digest
+}
+
+#[test]
+fn fixed_seed_scenario_matches_golden_digest() {
+    let digest = scenario();
+    if std::env::var("QBC_PRINT_DIGEST").is_ok() {
+        panic!("digest = {digest:#x}");
+    }
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "event schedule changed: got {digest:#x}, pinned {GOLDEN_DIGEST:#x}. \
+         A perf refactor must be schedule-preserving; see module docs."
+    );
+}
+
+#[test]
+fn scenario_is_self_consistent_across_two_runs() {
+    assert_eq!(scenario(), scenario(), "same-process nondeterminism");
+}

@@ -25,6 +25,7 @@ use crate::types::{Decision, ProtocolKind, SiteVotes, TxnId, TxnSpec};
 use qbc_simnet::SiteId;
 use qbc_votes::{Catalog, Version};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Coordinator progress.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,22 +40,41 @@ pub enum CoordPhase {
     HandedOff,
 }
 
+/// One writeset item's pre-resolved ack arithmetic: the copy weights
+/// and quorums are fixed for the life of the transaction, so they are
+/// snapshotted from the catalog once (when the prepare round starts)
+/// and every PC-ACK afterwards costs a small in-cache scan instead of a
+/// catalog walk per item per ack.
+#[derive(Clone, Debug)]
+struct ItemTally {
+    /// Copy holders and their vote weights, in site order.
+    copies: Vec<(SiteId, u32)>,
+    /// `w(x)` — the QC1 commit point per item.
+    write_quorum: u32,
+    /// `r(x)` — the QC2 commit point per item.
+    read_quorum: u32,
+    /// Votes accumulated from distinct ackers so far.
+    acked: u32,
+}
+
 /// The normal-case coordinator engine for one transaction.
 #[derive(Clone, Debug)]
 pub struct Coordinator {
-    spec: TxnSpec,
+    spec: Arc<TxnSpec>,
     /// Site-vote parameters (Skeen `[16]` only).
     site_votes: Option<SiteVotes>,
     phase: CoordPhase,
     votes: BTreeMap<SiteId, (bool, Version)>,
     pc_acks: BTreeSet<SiteId>,
+    /// One tally per writeset item (QC1/QC2 only; built at prepare).
+    tallies: Vec<ItemTally>,
     commit_version: Option<Version>,
 }
 
 impl Coordinator {
     /// Creates the engine. `site_votes` is required for
     /// [`ProtocolKind::SkeenQuorum`] and ignored otherwise.
-    pub fn new(spec: TxnSpec, site_votes: Option<SiteVotes>) -> Self {
+    pub fn new(spec: Arc<TxnSpec>, site_votes: Option<SiteVotes>) -> Self {
         debug_assert!(
             spec.protocol != ProtocolKind::SkeenQuorum || site_votes.is_some(),
             "Skeen quorum commit needs site votes"
@@ -65,8 +85,40 @@ impl Coordinator {
             phase: CoordPhase::SolicitingVotes,
             votes: BTreeMap::new(),
             pc_acks: BTreeSet::new(),
+            tallies: Vec::new(),
             commit_version: None,
         }
+    }
+
+    /// Snapshots the per-item quorum arithmetic for the ack round. An
+    /// item missing from the catalog gets unsatisfiable quorums, which
+    /// preserves the lookup-per-ack behaviour (`None` => never commit).
+    fn build_tallies(&mut self, catalog: &Catalog) {
+        if !matches!(
+            self.spec.protocol,
+            ProtocolKind::QuorumCommit1 | ProtocolKind::QuorumCommit2
+        ) {
+            return;
+        }
+        self.tallies = self
+            .spec
+            .writeset
+            .items()
+            .map(|x| match catalog.item(x) {
+                Some(i) => ItemTally {
+                    copies: i.copies.iter().map(|(&s, &w)| (s, w)).collect(),
+                    write_quorum: i.write_quorum,
+                    read_quorum: i.read_quorum,
+                    acked: 0,
+                },
+                None => ItemTally {
+                    copies: Vec::new(),
+                    write_quorum: u32::MAX,
+                    read_quorum: u32::MAX,
+                    acked: 0,
+                },
+            })
+            .collect();
     }
 
     /// The transaction.
@@ -90,12 +142,12 @@ impl Coordinator {
         let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
         vec![
             Action::Log(LogRecord::CoordinatorStart {
-                spec: self.spec.clone(),
+                spec: Arc::clone(&self.spec),
             }),
             Action::Broadcast(
                 everyone,
                 Msg::VoteReq {
-                    spec: self.spec.clone(),
+                    spec: Arc::clone(&self.spec),
                 },
             ),
             Action::SetTimer(TimerKind::VoteCollection { txn: self.spec.id }),
@@ -138,6 +190,7 @@ impl Coordinator {
                 ProtocolKind::TwoPhase => self.decide(Decision::Commit),
                 _ => {
                     self.phase = CoordPhase::Preparing;
+                    self.build_tallies(catalog);
                     let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
                     vec![
                         Action::Broadcast(
@@ -169,12 +222,20 @@ impl Coordinator {
 
     /// Handles a PC-ACK; commits when the protocol's commit point is
     /// reached.
-    pub fn on_pc_ack(&mut self, from: SiteId, catalog: &Catalog) -> Vec<Action> {
+    pub fn on_pc_ack(&mut self, from: SiteId, _catalog: &Catalog) -> Vec<Action> {
         if self.phase != CoordPhase::Preparing {
             return Vec::new();
         }
-        self.pc_acks.insert(from);
-        if self.commit_point_reached(catalog) {
+        if self.pc_acks.insert(from) {
+            // First ack from this site: fold its copy weights into the
+            // per-item tallies (duplicates must not double-count).
+            for t in &mut self.tallies {
+                if let Some(&(_, w)) = t.copies.iter().find(|&&(s, _)| s == from) {
+                    t.acked += w;
+                }
+            }
+        }
+        if self.commit_point_reached() {
             self.decide(Decision::Commit)
         } else {
             Vec::new()
@@ -182,7 +243,10 @@ impl Coordinator {
     }
 
     /// The protocol-specific commit point over the current ack set.
-    fn commit_point_reached(&self, catalog: &Catalog) -> bool {
+    /// The quorum tallies are maintained incrementally by `on_pc_ack`
+    /// (from the catalog snapshot taken at prepare), so the check needs
+    /// no catalog: it scans the writeset-sized tally list.
+    fn commit_point_reached(&self) -> bool {
         match self.spec.protocol {
             ProtocolKind::TwoPhase => false, // no prepare phase
             ProtocolKind::ThreePhase => self.pc_acks.len() == self.spec.participants.len(),
@@ -192,19 +256,11 @@ impl Coordinator {
             }
             // QC1: w(x) PC-ACK votes for every x — "receiving these
             // PC-ACKs ensures that an abort quorum can never be formed".
-            ProtocolKind::QuorumCommit1 => self.spec.writeset.items().all(|x| {
-                catalog
-                    .item(x)
-                    .map(|i| i.votes_among(&self.pc_acks) >= i.write_quorum)
-                    .unwrap_or(false)
-            }),
+            // An empty writeset has no item below quorum, matching the
+            // catalog-walk semantics (`all` over nothing is true).
+            ProtocolKind::QuorumCommit1 => self.tallies.iter().all(|t| t.acked >= t.write_quorum),
             // QC2: r(x) PC-ACK votes for some x.
-            ProtocolKind::QuorumCommit2 => self.spec.writeset.items().any(|x| {
-                catalog
-                    .item(x)
-                    .map(|i| i.votes_among(&self.pc_acks) >= i.read_quorum)
-                    .unwrap_or(false)
-            }),
+            ProtocolKind::QuorumCommit2 => self.tallies.iter().any(|t| t.acked >= t.read_quorum),
         }
     }
 
@@ -251,7 +307,7 @@ impl Coordinator {
     }
 
     /// Ack-collection window expired.
-    pub fn on_ack_timer(&mut self, catalog: &Catalog) -> Vec<Action> {
+    pub fn on_ack_timer(&mut self, _catalog: &Catalog) -> Vec<Action> {
         if self.phase != CoordPhase::Preparing {
             return Vec::new();
         }
@@ -267,7 +323,7 @@ impl Coordinator {
             ProtocolKind::SkeenQuorum
             | ProtocolKind::QuorumCommit1
             | ProtocolKind::QuorumCommit2 => {
-                if self.commit_point_reached(catalog) {
+                if self.commit_point_reached() {
                     self.decide(Decision::Commit)
                 } else {
                     self.phase = CoordPhase::HandedOff;
@@ -297,14 +353,14 @@ mod tests {
             .unwrap()
     }
 
-    fn spec(protocol: ProtocolKind) -> TxnSpec {
-        TxnSpec {
+    fn spec(protocol: ProtocolKind) -> std::sync::Arc<TxnSpec> {
+        std::sync::Arc::new(TxnSpec {
             id: TxnId(9),
             coordinator: SiteId(1),
             writeset: WriteSet::new([(ItemId(0), 10), (ItemId(1), 20)]),
             participants: (1..=8).map(SiteId).collect(),
             protocol,
-        }
+        })
     }
 
     fn all_yes(c: &mut Coordinator, cat: &Catalog, upto: u32) -> Vec<Action> {

@@ -9,6 +9,7 @@ use crate::states::LocalState;
 use crate::types::{Decision, TxnId, TxnSpec};
 use qbc_votes::Version;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A force-written log record of the commit/termination protocols.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -18,13 +19,15 @@ pub enum LogRecord {
     /// coordinator can apply presumed-abort (2PC) or re-announce a
     /// logged decision — even when it holds no copies itself.
     CoordinatorStart {
-        /// The transaction spec being coordinated.
-        spec: TxnSpec,
+        /// The transaction spec being coordinated (shared with the
+        /// engines and messages; a durable record conceptually owns its
+        /// bytes, which the `Arc` preserves — the spec is immutable).
+        spec: Arc<TxnSpec>,
     },
     /// Voted yes: the spec (with update values) is durable; state W.
     Voted {
         /// The transaction spec as received in `VOTE-REQ`.
-        spec: TxnSpec,
+        spec: Arc<TxnSpec>,
     },
     /// Voted no / aborted before voting; state A.
     VotedNo {
@@ -71,7 +74,7 @@ impl LogRecord {
 #[derive(Clone, Debug, PartialEq)]
 pub struct RecoveredTxn {
     /// The spec, if the site voted yes (q/vote-no sites have none).
-    pub spec: Option<TxnSpec>,
+    pub spec: Option<Arc<TxnSpec>>,
     /// Local state as of the last logged record.
     pub state: LocalState,
     /// Commit version learned (from PC or commit records).
@@ -104,11 +107,11 @@ pub fn recover_state<'a>(
                 // Establishes the spec; the local *participant* state is
                 // untouched (a pure coordinator never votes).
                 if entry.spec.is_none() {
-                    entry.spec = Some(spec.clone());
+                    entry.spec = Some(Arc::clone(spec));
                 }
             }
             LogRecord::Voted { spec } => {
-                entry.spec = Some(spec.clone());
+                entry.spec = Some(Arc::clone(spec));
                 entry.state = LocalState::Wait;
             }
             LogRecord::VotedNo { .. } => {
@@ -145,14 +148,14 @@ mod tests {
     use crate::types::{ProtocolKind, WriteSet};
     use qbc_simnet::SiteId;
 
-    fn spec(id: u64) -> TxnSpec {
-        TxnSpec {
+    fn spec(id: u64) -> Arc<TxnSpec> {
+        Arc::new(TxnSpec {
             id: TxnId(id),
             coordinator: SiteId(1),
             writeset: WriteSet::default(),
             participants: Default::default(),
             protocol: ProtocolKind::ThreePhase,
-        }
+        })
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::types::{Decision, TxnId, TxnSpec};
 use qbc_simnet::Label;
 use qbc_votes::Version;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// All messages exchanged by the commit and termination protocols.
 ///
@@ -15,9 +16,13 @@ use serde::{Deserialize, Serialize};
 pub enum Msg {
     /// Coordinator → participants: the transaction spec (update values
     /// included); "vote on this transaction".
+    ///
+    /// The spec is built once per transaction and shared by reference
+    /// (`Arc`) across every copy of the fan-out — cloning the message
+    /// per recipient costs a refcount bump, not a writeset copy.
     VoteReq {
         /// Full transaction description, logged by the participant.
-        spec: TxnSpec,
+        spec: Arc<TxnSpec>,
     },
     /// Participant → coordinator: yes/no vote. A yes carries the local
     /// version of the highest-versioned writeset copy at the voter, from
@@ -70,8 +75,8 @@ pub enum Msg {
     StateReq {
         /// Round of the termination attempt (guards stale replies).
         round: u64,
-        /// Transaction description.
-        spec: TxnSpec,
+        /// Transaction description (shared, like [`Msg::VoteReq`]'s).
+        spec: Arc<TxnSpec>,
     },
     /// Participant → termination coordinator: local state report.
     StateRep {
@@ -141,14 +146,14 @@ mod tests {
     use crate::types::{ProtocolKind, WriteSet};
     use qbc_simnet::SiteId;
 
-    fn spec() -> TxnSpec {
-        TxnSpec {
+    fn spec() -> Arc<TxnSpec> {
+        Arc::new(TxnSpec {
             id: TxnId(7),
             coordinator: SiteId(1),
             writeset: WriteSet::default(),
             participants: Default::default(),
             protocol: ProtocolKind::QuorumCommit1,
-        }
+        })
     }
 
     #[test]

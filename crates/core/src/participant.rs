@@ -23,6 +23,7 @@ use crate::states::{LocalState, Transition};
 use crate::types::{Decision, TxnId, TxnSpec};
 use qbc_simnet::SiteId;
 use qbc_votes::Version;
+use std::sync::Arc;
 
 /// Whether the participant honours the PC/PA mutual-ignore rule.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -60,7 +61,7 @@ pub struct Participant {
     site: SiteId,
     txn: TxnId,
     cfg: ParticipantConfig,
-    spec: Option<TxnSpec>,
+    spec: Option<Arc<TxnSpec>>,
     state: LocalState,
     commit_version: Option<Version>,
     /// Audit trail of every state change (consumed by experiment E6).
@@ -121,7 +122,7 @@ impl Participant {
 
     /// The spec, once known.
     pub fn spec(&self) -> Option<&TxnSpec> {
-        self.spec.as_ref()
+        self.spec.as_deref()
     }
 
     /// The commit version learned from a prepare/commit, if any.
@@ -195,14 +196,16 @@ impl Participant {
         }
     }
 
-    fn on_vote_req(&mut self, spec: &TxnSpec, local_max_version: Version) -> Vec<Action> {
+    fn on_vote_req(&mut self, spec: &Arc<TxnSpec>, local_max_version: Version) -> Vec<Action> {
         match self.state {
             LocalState::Initial => {
                 if self.cfg.vote_yes {
-                    self.spec = Some(spec.clone());
+                    self.spec = Some(Arc::clone(spec));
                     self.set_state(LocalState::Wait);
                     vec![
-                        Action::Log(LogRecord::Voted { spec: spec.clone() }),
+                        Action::Log(LogRecord::Voted {
+                            spec: Arc::clone(spec),
+                        }),
                         Action::Reply(Msg::Vote {
                             txn: self.txn,
                             yes: true,
@@ -376,11 +379,11 @@ impl Participant {
         }
     }
 
-    fn on_state_req(&mut self, round: u64, spec: &TxnSpec) -> Vec<Action> {
+    fn on_state_req(&mut self, round: u64, spec: &Arc<TxnSpec>) -> Vec<Action> {
         // A site that never saw VOTE-REQ learns the spec here, so it can
         // serve as a termination coordinator if elected.
         if self.spec.is_none() {
-            self.spec = Some(spec.clone());
+            self.spec = Some(Arc::clone(spec));
         }
         vec![Action::Reply(Msg::StateRep {
             txn: self.txn,
@@ -411,14 +414,14 @@ mod tests {
     use crate::types::{ProtocolKind, WriteSet};
     use qbc_votes::ItemId;
 
-    fn spec() -> TxnSpec {
-        TxnSpec {
+    fn spec() -> Arc<TxnSpec> {
+        Arc::new(TxnSpec {
             id: TxnId(1),
             coordinator: SiteId(0),
             writeset: WriteSet::new([(ItemId(0), 42)]),
             participants: [SiteId(0), SiteId(1), SiteId(2)].into(),
             protocol: ProtocolKind::QuorumCommit1,
-        }
+        })
     }
 
     fn fresh() -> Participant {

@@ -23,6 +23,7 @@ use crate::types::{Decision, TxnId, TxnSpec};
 use qbc_simnet::SiteId;
 use qbc_votes::{Catalog, Version};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Progress of one termination attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +46,7 @@ pub enum TerminationPhase {
 #[derive(Clone, Debug)]
 pub struct Termination {
     self_site: SiteId,
-    spec: TxnSpec,
+    spec: Arc<TxnSpec>,
     kind: TerminationKind,
     round: u64,
     phase: TerminationPhase,
@@ -69,7 +70,7 @@ impl Termination {
     /// for a site that learned the spec only through a `STATE-REQ`).
     pub fn start(
         self_site: SiteId,
-        spec: TxnSpec,
+        spec: Arc<TxnSpec>,
         kind: TerminationKind,
         round: u64,
         own_state: LocalState,
@@ -100,7 +101,7 @@ impl Termination {
             peers,
             Msg::StateReq {
                 round,
-                spec: t.spec.clone(),
+                spec: Arc::clone(&t.spec),
             },
         )];
         actions.push(Action::SetTimer(TimerKind::StateCollection {
@@ -350,14 +351,14 @@ mod tests {
             .unwrap()
     }
 
-    fn spec() -> TxnSpec {
-        TxnSpec {
+    fn spec() -> Arc<TxnSpec> {
+        Arc::new(TxnSpec {
             id: TxnId(1),
             coordinator: SiteId(1),
             writeset: WriteSet::new([(ItemId(0), 10), (ItemId(1), 20)]),
             participants: (1..=8).map(SiteId).collect(),
             protocol: ProtocolKind::QuorumCommit1,
-        }
+        })
     }
 
     fn msgs_in(actions: &[Action]) -> Vec<&Msg> {

@@ -5,6 +5,7 @@ use qbc_election::{ElectionMsg, ElectionTimer};
 use qbc_simnet::Label;
 use qbc_votes::{ItemId, Version};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything a site sends over the wire.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -16,8 +17,9 @@ pub enum NetMsg {
     Election {
         /// Transaction whose termination needs a coordinator.
         txn: TxnId,
-        /// Transaction description.
-        spec: TxnSpec,
+        /// Transaction description (shared: one allocation per
+        /// transaction, refcounted across every election message).
+        spec: Arc<TxnSpec>,
         /// The election payload.
         msg: ElectionMsg,
     },

@@ -33,7 +33,7 @@ use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
 use qbc_locks::{LockManager, LockMode, LockOutcome};
 use qbc_simnet::{Ctx, Process, SiteId, Time, TimerId};
 use qbc_storage::SiteStorage;
-use qbc_votes::{Catalog, ItemId, Version};
+use qbc_votes::{Catalog, FastMap, ItemId, Version};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -65,7 +65,7 @@ struct ReadCollect {
 /// Per-transaction state hosted at this site.
 #[derive(Debug)]
 struct TxnState {
-    spec: TxnSpec,
+    spec: Arc<TxnSpec>,
     participant: Participant,
     coordinator: Option<Coordinator>,
     termination: Option<Termination>,
@@ -111,7 +111,11 @@ pub struct SiteNode {
     catalog: Arc<Catalog>,
     storage: SiteStorage<LogRecord, i64>,
     locks: LockManager<ItemId, TxnId>,
-    txns: BTreeMap<TxnId, TxnState>,
+    /// Per-transaction state. A (deterministic) hash map: the table
+    /// grows with every transaction the site ever hosted and sits on
+    /// every message's path; nothing iterates it in an order-sensitive
+    /// way (accessors sort), so O(1) lookups are free determinism-wise.
+    txns: FastMap<TxnId, TxnState>,
     reads: BTreeMap<u64, ReadCollect>,
     violations: Vec<Violation>,
     /// Self-addressed messages processed synchronously (local delivery).
@@ -126,6 +130,9 @@ pub struct SiteNode {
     next_force_batch: u64,
     /// Pending batch-window timer, cancelled on early (batch-full) flush.
     flush_timer: Option<TimerId>,
+    /// Emptied deferred-op buffers kept for reuse, so the steady-state
+    /// group-commit cycle (defer → force → run) allocates nothing.
+    spare_deferred: Vec<Vec<DeferredOp>>,
 }
 
 impl SiteNode {
@@ -141,7 +148,7 @@ impl SiteNode {
             catalog,
             storage,
             locks: LockManager::new(),
-            txns: BTreeMap::new(),
+            txns: FastMap::default(),
             reads: BTreeMap::new(),
             violations: Vec::new(),
             local_queue: VecDeque::new(),
@@ -150,6 +157,7 @@ impl SiteNode {
             inflight_forces: BTreeMap::new(),
             next_force_batch: 0,
             flush_timer: None,
+            spare_deferred: Vec::new(),
         }
     }
 
@@ -180,17 +188,19 @@ impl SiteNode {
         self.txns.get(&txn).map(|t| t.blocked).unwrap_or(false)
     }
 
-    /// All transactions this site knows about.
+    /// All transactions this site knows about, in id order.
     pub fn known_txns(&self) -> Vec<TxnId> {
-        self.txns.keys().copied().collect()
+        let mut out: Vec<TxnId> = self.txns.keys().copied().collect();
+        out.sort_unstable();
+        out
     }
 
     /// The audit trail of participant state transitions (experiment E6).
-    pub fn transitions(&self, txn: TxnId) -> Vec<Transition> {
+    pub fn transitions(&self, txn: TxnId) -> &[Transition] {
         self.txns
             .get(&txn)
-            .map(|t| t.participant.transitions().to_vec())
-            .unwrap_or_default()
+            .map(|t| t.participant.transitions())
+            .unwrap_or(&[])
     }
 
     /// Diagnostic violations recorded by the engines (empty in correct
@@ -216,12 +226,8 @@ impl SiteNode {
     }
 
     /// Read-only access to the durable log (for experiments and tests).
-    pub fn log_records(&self) -> Vec<LogRecord> {
-        self.storage
-            .wal()
-            .replay()
-            .map(|(_, r)| r.clone())
-            .collect()
+    pub fn log_records(&self) -> impl Iterator<Item = &LogRecord> + '_ {
+        self.storage.wal().replay().map(|(_, r)| r)
     }
 
     /// Number of termination rounds this site initiated for `txn`.
@@ -263,7 +269,15 @@ impl SiteNode {
         protocol: ProtocolKind,
     ) {
         debug_assert!(self.cfg.validate_for(protocol).is_ok());
-        let spec = TxnSpec::from_catalog(txn, self.cfg.site, writeset, protocol, &self.catalog);
+        // Built once; every VOTE-REQ copy, log record and engine shares
+        // this one allocation for the life of the transaction.
+        let spec = Arc::new(TxnSpec::from_catalog(
+            txn,
+            self.cfg.site,
+            writeset,
+            protocol,
+            &self.catalog,
+        ));
         let state = self.ensure_txn(ctx.now(), &spec);
         state.started_at = ctx.now();
         let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
@@ -306,11 +320,11 @@ impl SiteNode {
 
     // ---- internals -----------------------------------------------------
 
-    fn ensure_txn(&mut self, now: Time, spec: &TxnSpec) -> &mut TxnState {
+    fn ensure_txn(&mut self, now: Time, spec: &Arc<TxnSpec>) -> &mut TxnState {
         let site = self.cfg.site;
         let faulty = self.cfg.faulty;
         self.txns.entry(spec.id).or_insert_with(|| TxnState {
-            spec: spec.clone(),
+            spec: Arc::clone(spec),
             participant: Participant::new(
                 site,
                 spec.id,
@@ -362,6 +376,11 @@ impl SiteNode {
     /// if records are staged, else the latest in-flight force.
     fn defer(&mut self, op: DeferredOp) {
         if self.storage.wal().pending_len() > 0 {
+            if self.gated_on_buffer.capacity() == 0 {
+                if let Some(spare) = self.spare_deferred.pop() {
+                    self.gated_on_buffer = spare;
+                }
+            }
             self.gated_on_buffer.push(op);
         } else {
             let batch = *self
@@ -403,8 +422,8 @@ impl SiteNode {
     }
 
     /// Executes ops whose durability dependency has been satisfied.
-    fn run_deferred(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, ops: Vec<DeferredOp>) {
-        for op in ops {
+    fn run_deferred(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, mut ops: Vec<DeferredOp>) {
+        for op in ops.drain(..) {
             match op {
                 DeferredOp::Send { to, msg } => self.send_net_now(ctx, to, msg),
                 DeferredOp::Apply {
@@ -413,6 +432,9 @@ impl SiteNode {
                     commit_version,
                 } => self.apply_decision(ctx.now(), txn, decision, commit_version),
             }
+        }
+        if ops.capacity() > 0 && self.spare_deferred.len() < 4 {
+            self.spare_deferred.push(ops);
         }
     }
 
@@ -502,7 +524,7 @@ impl SiteNode {
         // Learn the spec from spec-carrying messages.
         match &m {
             Msg::VoteReq { spec } | Msg::StateReq { spec, .. } => {
-                self.ensure_txn(ctx.now(), &spec.clone());
+                self.ensure_txn(ctx.now(), spec);
             }
             _ => {}
         }
@@ -523,8 +545,10 @@ impl SiteNode {
         }
 
         // The highest local version among writeset copies (reported in
-        // yes votes; basis of the commit version).
-        let local_max_version = {
+        // yes votes; basis of the commit version). Only `VOTE-REQ`
+        // handling reads it — a vote is the only reply that carries a
+        // version — so every other message skips the writeset walk.
+        let local_max_version = if matches!(m, Msg::VoteReq { .. }) {
             let st = &self.txns[&txn];
             st.spec
                 .writeset
@@ -532,6 +556,8 @@ impl SiteNode {
                 .filter_map(|i| self.storage.item_version(i))
                 .max()
                 .unwrap_or(Version::INITIAL)
+        } else {
+            Version::INITIAL
         };
 
         let catalog = Arc::clone(&self.catalog);
@@ -726,7 +752,8 @@ impl SiteNode {
             st.blocked = false;
             if decision == Decision::Commit {
                 let version = commit_version.expect("commit carries version");
-                for (item, value) in st.spec.writeset.updates.clone() {
+                let spec = Arc::clone(&st.spec);
+                for (&item, &value) in spec.writeset.updates.iter() {
                     if self.storage.read_item(item).is_some() {
                         // Regression errors mean the update was already
                         // applied (recovery replay): idempotent.
@@ -757,7 +784,7 @@ impl SiteNode {
         if st.decided.is_some() || st.termination_rounds >= self.cfg.max_termination_rounds {
             return;
         }
-        let spec = st.spec.clone();
+        let spec = Arc::clone(&st.spec);
         if st.elector.is_none() {
             st.elector = Some(Elector::new(self.cfg.site, spec.participants.clone()));
         }
@@ -774,7 +801,7 @@ impl SiteNode {
         ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
         from: SiteId,
         txn: TxnId,
-        spec: TxnSpec,
+        spec: Arc<TxnSpec>,
         msg: ElectionMsg,
     ) {
         self.ensure_txn(ctx.now(), &spec);
@@ -810,7 +837,7 @@ impl SiteNode {
         &mut self,
         ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
         txn: TxnId,
-        spec: TxnSpec,
+        spec: Arc<TxnSpec>,
         actions: Vec<ElAction>,
     ) {
         for a in actions {
@@ -818,7 +845,7 @@ impl SiteNode {
                 ElAction::Send { to, msg } => {
                     let m = NetMsg::Election {
                         txn,
-                        spec: spec.clone(),
+                        spec: Arc::clone(&spec),
                         msg,
                     };
                     self.send_net(ctx, to, m);
@@ -848,7 +875,7 @@ impl SiteNode {
         let kind = qbc_core::termination_kind_for(st.spec.protocol, self.cfg.site_votes.as_ref());
         let (term, actions) = Termination::start(
             self.cfg.site,
-            st.spec.clone(),
+            Arc::clone(&st.spec),
             kind,
             round,
             st.participant.state(),
@@ -925,7 +952,7 @@ impl Process for SiteNode {
             NodeTimer::Election { txn, timer } => {
                 let (spec, actions) = match self.txns.get_mut(&txn) {
                     Some(st) if st.decided.is_none() => match st.elector.as_mut() {
-                        Some(e) => (st.spec.clone(), e.step(ElInput::Timer(timer))),
+                        Some(e) => (Arc::clone(&st.spec), e.step(ElInput::Timer(timer))),
                         None => return,
                     },
                     _ => return,
@@ -968,8 +995,7 @@ impl Process for SiteNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
-        let records = self.log_records();
-        let recovered = recover_state(records.iter());
+        let recovered = recover_state(self.storage.wal().replay().map(|(_, r)| r));
         let site = self.cfg.site;
         let faulty = self.cfg.faulty;
         for (txn, rec) in recovered {
@@ -992,7 +1018,7 @@ impl Process for SiteNode {
             // Re-apply committed updates (idempotent: version checks).
             if decided == Some(Decision::Commit) {
                 if let Some(version) = rec.commit_version {
-                    for (item, value) in spec.writeset.updates.clone() {
+                    for (&item, &value) in spec.writeset.updates.iter() {
                         if self.storage.read_item(item).is_some() {
                             let _ = self.storage.apply_update(item, version, value);
                         }

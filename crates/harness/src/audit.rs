@@ -23,7 +23,7 @@ impl TransitionAudit {
                     *self.counts.entry((tr.from, tr.to)).or_insert(0) += 1;
                 }
                 if !tr.is_legal() {
-                    self.illegal.push(tr);
+                    self.illegal.push(*tr);
                 }
             }
         }

@@ -318,7 +318,7 @@ impl ScenarioOutcome {
 
     /// Messages delivered during the run, by label.
     pub fn messages_by_label(&self) -> BTreeMap<&'static str, u64> {
-        self.sim.stats().delivered_by_label.clone()
+        self.sim.stats().delivered_by_label()
     }
 
     /// The partition components of currently-up sites.

@@ -96,6 +96,10 @@ where
     T: Ord + Clone,
 {
     table: BTreeMap<R, Entry<T>>,
+    /// Reverse index: every resource a transaction holds or waits on.
+    /// Keeps `release_all` — the per-decision hot path — proportional
+    /// to the transaction's own footprint instead of the table size.
+    by_txn: BTreeMap<T, BTreeSet<R>>,
     stats: LockStats,
 }
 
@@ -118,6 +122,7 @@ where
     pub fn new() -> Self {
         LockManager {
             table: BTreeMap::new(),
+            by_txn: BTreeMap::new(),
             stats: LockStats::default(),
         }
     }
@@ -183,6 +188,12 @@ where
     /// the front of the queue (classical upgrade priority), preventing
     /// starvation by later requests.
     pub fn acquire(&mut self, txn: T, res: R, mode: LockMode) -> LockOutcome {
+        // Whatever the outcome, the transaction ends up holding or
+        // queued on the resource; index it for `release_all`.
+        self.by_txn
+            .entry(txn.clone())
+            .or_default()
+            .insert(res.clone());
         let entry = self.table.entry(res).or_insert_with(|| Entry {
             holders: BTreeMap::new(),
             queue: VecDeque::new(),
@@ -236,6 +247,12 @@ where
     /// Releases `txn`'s lock on `res` (and removes any queued request),
     /// returning locks granted to waiters as a result.
     pub fn release(&mut self, txn: &T, res: &R) -> Vec<Granted<R, T>> {
+        if let Some(set) = self.by_txn.get_mut(txn) {
+            set.remove(res);
+            if set.is_empty() {
+                self.by_txn.remove(txn);
+            }
+        }
         let mut granted = Vec::new();
         if let Some(entry) = self.table.get_mut(res) {
             entry.holders.remove(txn);
@@ -252,12 +269,10 @@ where
     /// Releases every lock and queued request of `txn` (commit/abort),
     /// returning locks granted to waiters as a result.
     pub fn release_all(&mut self, txn: &T) -> Vec<Granted<R, T>> {
-        let resources: Vec<R> = self
-            .table
-            .iter()
-            .filter(|(_, e)| e.holders.contains_key(txn) || e.queue.iter().any(|r| &r.txn == txn))
-            .map(|(r, _)| r.clone())
-            .collect();
+        // The index lists exactly the resources the table scan used to
+        // find (held or queued), in the same sorted order, so grant
+        // order — and with it simulator determinism — is unchanged.
+        let resources = self.by_txn.remove(txn).unwrap_or_default();
         let mut granted = Vec::new();
         for res in resources {
             granted.extend(self.release(txn, &res));

@@ -1,0 +1,109 @@
+//! A deterministic, allocation-free hasher for small integer keys.
+//!
+//! The hot maps of the system (per-site item stores, per-site
+//! transaction tables) are keyed by `u32`/`u64` newtype ids and only
+//! ever accessed by key. `std`'s default SipHash is both slower than
+//! the lookup it guards for such keys and seeded per-process via
+//! `RandomState`, which would make any accidental iteration
+//! nondeterministic *between* runs. This hasher is a fixed-key
+//! multiply-xor finalizer (the `splitmix64`-style mixer): fast,
+//! deterministic across runs and platforms, and of ample quality for
+//! id-shaped keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over little-endian words.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        // splitmix64 finalizer: full avalanche over one 64-bit word.
+        let mut z = self.0 ^ v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64)
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64)
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64)
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v)
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64)
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]: zero-sized, fixed-keyed, so two
+/// maps (and two runs) hash identically.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by the deterministic fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FastBuildHasher::default();
+        let b = FastBuildHasher::default();
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(a.hash_one(v), b.hash_one(v));
+        }
+    }
+
+    #[test]
+    fn nearby_keys_scatter() {
+        let b = FastBuildHasher::default();
+        let hashes: Vec<u64> = (0u32..64).map(|v| b.hash_one(v)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "collisions on tiny keys");
+        // Low bits (the bucket index) must differ for adjacent keys.
+        assert_ne!(hashes[0] & 0xff, hashes[1] & 0xff);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u32, &str> = FastMap::default();
+        m.insert(7, "x");
+        m.insert(9, "y");
+        assert_eq!(m.get(&7), Some(&"x"));
+        assert_eq!(m.get(&8), None);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod fasthash;
 mod ids;
 mod process;
 mod sim;
@@ -61,6 +62,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use fasthash::{FastBuildHasher, FastHasher, FastMap};
 pub use ids::{sites, SiteId, TimerId};
 pub use process::{Ctx, Label, Process};
 pub use sim::{DelayModel, Quiescence, Sim, SimConfig};

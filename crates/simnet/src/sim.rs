@@ -10,6 +10,7 @@
 //! propagation delay, from which the protocol timeouts `2T` and `3T` are
 //! derived.
 
+use crate::fasthash::FastBuildHasher;
 use crate::ids::{SiteId, TimerId};
 use crate::process::{Ctx, Effect, Label, Process};
 use crate::time::{Duration, Time};
@@ -132,12 +133,16 @@ impl<N: Process> EventKind<N> {
 struct Scheduled<N: Process> {
     at: Time,
     seq: u64,
+    /// `kind.priority()`, cached: the heap re-compares entries
+    /// O(log n) times per push/pop, and matching on the kind each time
+    /// is measurable at millions of events per second.
+    prio: u8,
     kind: EventKind<N>,
 }
 
 impl<N: Process> Scheduled<N> {
     fn key(&self) -> (Time, u8, u64) {
-        (self.at, self.kind.priority(), self.seq)
+        (self.at, self.prio, self.seq)
     }
 }
 
@@ -193,10 +198,6 @@ impl Quiescence {
     }
 }
 
-/// A boxed node handler invoked inside the event loop.
-type Handler<'a, N> =
-    Box<dyn FnOnce(&mut N, &mut Ctx<'_, <N as Process>::Msg, <N as Process>::Timer>) + 'a>;
-
 /// The deterministic discrete-event simulator.
 pub struct Sim<N: Process> {
     now: Time,
@@ -208,11 +209,15 @@ pub struct Sim<N: Process> {
     config: SimConfig,
     /// Per-site crash epoch; timers from an older epoch never fire.
     epochs: BTreeMap<SiteId, u64>,
-    cancelled: HashSet<TimerId>,
+    cancelled: HashSet<TimerId, FastBuildHasher>,
     next_timer_id: u64,
     stats: NetStats,
     trace: Vec<TraceEvent>,
     events_processed: u64,
+    /// Reused effect buffer: one allocation for the life of the run
+    /// instead of one per event (the loop never re-enters `invoke`
+    /// while effects are being applied, so a single buffer suffices).
+    effects_scratch: Vec<Effect<N::Msg, N::Timer>>,
 }
 
 impl<N: Process> Sim<N> {
@@ -223,20 +228,29 @@ impl<N: Process> Sim<N> {
         let topology = Topology::fully_connected(nodes.keys().copied());
         let epochs = nodes.keys().map(|&s| (s, 0)).collect();
         let rng = SmallRng::seed_from_u64(config.seed);
+        // Pre-size the hot containers: the queue always holds at least
+        // the in-flight fan-out, and a recorded run produces several
+        // trace events per simulated message.
+        let trace = if config.record_trace {
+            Vec::with_capacity(4096)
+        } else {
+            Vec::new()
+        };
         let mut sim = Sim {
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
             nodes,
             topology,
             rng,
             config,
             epochs,
-            cancelled: HashSet::new(),
+            cancelled: HashSet::default(),
             next_timer_id: 0,
             stats: NetStats::default(),
-            trace: Vec::new(),
+            trace,
             events_processed: 0,
+            effects_scratch: Vec::with_capacity(64),
         };
         let sites: Vec<SiteId> = sim.nodes.keys().copied().collect();
         for s in sites {
@@ -281,6 +295,12 @@ impl<N: Process> Sim<N> {
         &self.stats
     }
 
+    /// Total events processed since construction (deliveries, timers,
+    /// control events). The denominator of events-per-second figures.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// The recorded trace (empty when `record_trace` is off).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
@@ -299,7 +319,13 @@ impl<N: Process> Sim<N> {
     fn push(&mut self, at: Time, kind: EventKind<N>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, kind });
+        let prio = kind.priority();
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            prio,
+            kind,
+        });
     }
 
     // ---- schedule API -------------------------------------------------
@@ -437,10 +463,14 @@ impl<N: Process> Sim<N> {
             EventKind::SetLoss(p) => self.topology.set_loss_probability(p),
             EventKind::Call { site, f } => {
                 if !self.topology.is_down(site) {
-                    self.invoke_once(site, f);
+                    self.invoke(site, f);
                 }
             }
         }
+        debug_assert!(
+            self.config.record_trace || self.trace.is_empty(),
+            "trace bytes produced while record_trace is off"
+        );
         true
     }
 
@@ -516,12 +546,13 @@ impl<N: Process> Sim<N> {
         }
     }
 
+    /// Runs a node handler and applies its effects. Monomorphized per
+    /// call site — no per-event boxing — and the effect buffer is the
+    /// reused scratch vector, so a steady-state event allocates nothing
+    /// in the loop itself.
     fn invoke(&mut self, site: SiteId, f: impl FnOnce(&mut N, &mut Ctx<'_, N::Msg, N::Timer>)) {
-        self.invoke_once(site, Box::new(f) as Handler<'_, N>);
-    }
-
-    fn invoke_once(&mut self, site: SiteId, f: Handler<'_, N>) {
-        let mut effects: Vec<Effect<N::Msg, N::Timer>> = Vec::new();
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        debug_assert!(effects.is_empty());
         {
             let node = self.nodes.get_mut(&site).expect("unknown site");
             let mut ctx = Ctx {
@@ -533,11 +564,13 @@ impl<N: Process> Sim<N> {
             };
             f(node, &mut ctx);
         }
-        self.apply_effects(site, effects);
+        self.apply_effects(site, &mut effects);
+        effects.clear();
+        self.effects_scratch = effects;
     }
 
-    fn apply_effects(&mut self, site: SiteId, effects: Vec<Effect<N::Msg, N::Timer>>) {
-        for eff in effects {
+    fn apply_effects(&mut self, site: SiteId, effects: &mut Vec<Effect<N::Msg, N::Timer>>) {
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg } => {
                     let label = msg.label();

@@ -89,23 +89,66 @@ pub struct NetStats {
     pub dropped_receiver_down: u64,
     /// Messages dropped because the sender was crashed.
     pub dropped_sender_down: u64,
-    /// Deliveries per message label.
-    pub delivered_by_label: BTreeMap<&'static str, u64>,
-    /// Sends per message label.
-    pub sent_by_label: BTreeMap<&'static str, u64>,
+    /// Per-label `(label, sent, delivered)` counters. A message
+    /// vocabulary has a dozen-odd labels, all `'static` literals, so a
+    /// linear scan with a pointer-equality fast path beats a map on the
+    /// per-message path (this is bumped twice per delivered message).
+    by_label: Vec<(&'static str, u64, u64)>,
     /// Timers fired.
     pub timers_fired: u64,
 }
 
 impl NetStats {
+    /// Index of the label's counter slot, appending one if new.
+    fn label_slot(&mut self, label: &'static str) -> usize {
+        if let Some(i) = self
+            .by_label
+            .iter()
+            .position(|&(l, _, _)| std::ptr::eq(l, label) || l == label)
+        {
+            i
+        } else {
+            self.by_label.push((label, 0, 0));
+            self.by_label.len() - 1
+        }
+    }
+
     pub(crate) fn record_sent(&mut self, label: &'static str) {
         self.sent += 1;
-        *self.sent_by_label.entry(label).or_insert(0) += 1;
+        let i = self.label_slot(label);
+        self.by_label[i].1 += 1;
     }
 
     pub(crate) fn record_delivered(&mut self, label: &'static str) {
         self.delivered += 1;
-        *self.delivered_by_label.entry(label).or_insert(0) += 1;
+        let i = self.label_slot(label);
+        self.by_label[i].2 += 1;
+    }
+
+    /// Sends per message label, in label order.
+    pub fn sent_by_label(&self) -> BTreeMap<&'static str, u64> {
+        self.by_label
+            .iter()
+            .filter(|&&(_, s, _)| s > 0)
+            .map(|&(l, s, _)| (l, s))
+            .collect()
+    }
+
+    /// Deliveries per message label, in label order.
+    pub fn delivered_by_label(&self) -> BTreeMap<&'static str, u64> {
+        self.by_label
+            .iter()
+            .filter(|&&(_, _, d)| d > 0)
+            .map(|&(l, _, d)| (l, d))
+            .collect()
+    }
+
+    /// Deliveries recorded for one label.
+    pub fn delivered_of(&self, label: &str) -> u64 {
+        self.by_label
+            .iter()
+            .find(|&&(l, _, _)| l == label)
+            .map_or(0, |&(_, _, d)| d)
     }
 
     pub(crate) fn record_dropped(&mut self, reason: DropReason) {
@@ -143,7 +186,7 @@ impl fmt::Display for NetStats {
             self.dropped_sender_down,
             self.timers_fired,
         )?;
-        for (label, n) in &self.delivered_by_label {
+        for (label, n) in self.delivered_by_label() {
             writeln!(f, "  {label}: {n} delivered")?;
         }
         Ok(())
@@ -165,8 +208,10 @@ mod tests {
         assert_eq!(s.sent, 2);
         assert_eq!(s.delivered, 1);
         assert_eq!(s.dropped_total(), 2);
-        assert_eq!(s.sent_by_label["VOTE-REQ"], 2);
-        assert_eq!(s.delivered_by_label["VOTE-REQ"], 1);
+        assert_eq!(s.sent_by_label()["VOTE-REQ"], 2);
+        assert_eq!(s.delivered_by_label()["VOTE-REQ"], 1);
+        assert_eq!(s.delivered_of("VOTE-REQ"), 1);
+        assert_eq!(s.delivered_of("NOPE"), 0);
     }
 
     #[test]

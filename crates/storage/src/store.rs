@@ -6,8 +6,7 @@
 //! the writing transaction (max version read + 1); the store rejects
 //! regressions, making replica divergence detectable.
 
-use qbc_votes::{ItemId, Version};
-use std::collections::BTreeMap;
+use qbc_votes::{FastMap, ItemId, Version};
 
 /// Error applying a versioned write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,16 +41,20 @@ impl std::error::Error for StoreError {}
 
 /// A durable map from item to `(version, value)` for the copies a site
 /// replicates.
+/// Copies are keyed by a deterministic hash map: the store sits on the
+/// per-message hot path (version witnesses, update installs) and is
+/// only ever read by key; [`VersionedStore::items`] sorts, so no
+/// observer sees hash order and determinism is unaffected.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VersionedStore<V> {
-    copies: BTreeMap<ItemId, (Version, V)>,
+    copies: FastMap<ItemId, (Version, V)>,
 }
 
 impl<V: Clone> VersionedStore<V> {
     /// An empty store.
     pub fn new() -> Self {
         VersionedStore {
-            copies: BTreeMap::new(),
+            copies: FastMap::default(),
         }
     }
 
@@ -87,9 +90,11 @@ impl<V: Clone> VersionedStore<V> {
         }
     }
 
-    /// Items this site holds copies of.
-    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.copies.keys().copied()
+    /// Items this site holds copies of, in id order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> {
+        let mut items: Vec<ItemId> = self.copies.keys().copied().collect();
+        items.sort_unstable();
+        items.into_iter()
     }
 
     /// Number of copies stored.

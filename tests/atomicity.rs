@@ -67,7 +67,7 @@ proptest! {
         let out = random_failure_scenario(protocol, &cfg, seed).run();
         for (site, node) in out.sim.nodes() {
             let transitions = node.transitions(TxnId(1));
-            for t in &transitions {
+            for t in transitions {
                 prop_assert!(
                     Transition::is_legal(t),
                     "illegal transition {:?} at {site} under {} (seed {seed})",

@@ -65,7 +65,7 @@ fn participant_recovers_from_pc_state_and_commits() {
         s.node(SiteId(4)).decision(TxnId(1)),
         Some(Decision::Commit),
         "log: {:?}",
-        s.node(SiteId(4)).log_records()
+        s.node(SiteId(4)).log_records().collect::<Vec<_>>()
     );
     let (_, v) = s.node(SiteId(4)).item_value(ItemId(0)).unwrap();
     assert_eq!(v, 42);
