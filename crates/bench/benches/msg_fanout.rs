@@ -23,6 +23,7 @@ fn spec(n_items: u32) -> Arc<TxnSpec> {
         writeset: WriteSet::new((0..n_items).map(|i| (ItemId(i), i as i64))),
         participants: (0..FANOUT as u32).map(SiteId).collect(),
         protocol: ProtocolKind::QuorumCommit1,
+        parent: None,
     })
 }
 

@@ -39,6 +39,7 @@ fn load(clients: u32, think_time: u64, group_commit: bool) -> ClusterLoadConfig 
         items_per_txn: 2,
         think_time,
         seed: 13,
+        ..Default::default()
     }
 }
 

@@ -38,6 +38,10 @@ pub struct ClusterConfig {
     pub group_commit_max_batch: usize,
     /// Simulated latency of one WAL force (serial log device).
     pub force_latency: Duration,
+    /// Retire decided per-transaction state at every site this long
+    /// after the decision (see [`qbc_db::NodeConfig::retire_after`]).
+    /// `None` (the default) keeps every entry forever.
+    pub retire_after: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +60,7 @@ impl Default for ClusterConfig {
             group_commit_window: None,
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
+            retire_after: None,
         }
     }
 }
@@ -80,6 +85,12 @@ impl ClusterConfig {
     /// Sets the simulated WAL force latency (builder style).
     pub fn with_force_latency(mut self, latency: Duration) -> Self {
         self.force_latency = latency;
+        self
+    }
+
+    /// Sets the decided-state retention window (builder style).
+    pub fn with_retirement(mut self, after: Duration) -> Self {
+        self.retire_after = Some(after);
         self
     }
 

@@ -5,7 +5,7 @@ use crate::config::ClusterConfig;
 use crate::metrics::{AtomicityViolation, ClusterMetrics, ShardMetrics};
 use crate::shard::{ShardId, ShardMap};
 use crate::sim_cluster::TxnHandle;
-use qbc_core::{Decision, ProtocolKind, SiteVotes};
+use qbc_core::{Decision, ProtocolKind, SiteVotes, TxnId};
 use qbc_db::{NodeConfig, SiteNode};
 use qbc_simnet::{SiteId, Time};
 use std::collections::BTreeMap;
@@ -25,6 +25,7 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, S
             }
             nc.group_commit_max_batch = cfg.group_commit_max_batch;
             nc.force_latency = cfg.force_latency;
+            nc.retire_after = cfg.retire_after;
             if cfg.protocol == ProtocolKind::SkeenQuorum {
                 let q = cfg.sites_per_shard / 2 + 1;
                 nc = nc.with_site_votes(SiteVotes::uniform(sites.iter().copied(), q, q));
@@ -36,10 +37,15 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, S
 }
 
 /// Walks the cluster's nodes and computes per-shard metrics plus the
-/// cluster-level atomicity check for every submitted handle.
+/// cluster-level atomicity check for every submitted handle. A
+/// cross-shard transaction (listed in `xshards`) is audited over the
+/// *union* of its shards' sites — commit at any site of one shard plus
+/// abort at any site of another is exactly the violation the top-level
+/// 2PC must prevent — and counted in its home shard's metrics.
 pub(crate) fn harvest(
     map: &ShardMap,
     handles: &[TxnHandle],
+    xshards: &BTreeMap<TxnId, Vec<ShardId>>,
     nodes: &BTreeMap<SiteId, &SiteNode>,
     now: Time,
 ) -> (ClusterMetrics, Vec<AtomicityViolation>) {
@@ -48,6 +54,11 @@ pub(crate) fn harvest(
     let mut violations = Vec::new();
 
     for h in handles {
+        let shard_set: &[ShardId] = xshards
+            .get(&h.txn)
+            .map(|v| v.as_slice())
+            .unwrap_or(std::slice::from_ref(&h.shard));
+        let sites = || shard_set.iter().flat_map(|&s| map.sites_iter(s));
         let m = &mut shards[h.shard.0 as usize];
         m.submitted += 1;
         // Counting pass only: the harvest runs per submitted handle on
@@ -58,7 +69,7 @@ pub(crate) fn harvest(
         let mut aborts = 0u64;
         let mut blocked = false;
         let mut known = false;
-        for site in map.sites_iter(h.shard) {
+        for site in sites() {
             let Some(node) = nodes.get(&site) else {
                 continue;
             };
@@ -72,7 +83,7 @@ pub(crate) fn harvest(
         }
         if commits > 0 && aborts > 0 {
             let decided_at = |d: Decision| {
-                map.sites_iter(h.shard)
+                sites()
                     .filter(|site| {
                         nodes
                             .get(site)

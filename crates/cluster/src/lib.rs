@@ -22,10 +22,18 @@
 //! * [`AtomicityViolation`] — the cluster-level consistency check: no
 //!   transaction may commit at one participant and abort at another.
 //!
-//! Transactions are single-shard (the shard of their writeset's items);
-//! cross-shard transactions are an open ROADMAP item. Group commit
+//! Writesets may span shards: a cross-shard submission is split into
+//! per-shard *branches* driven by a top-level two-phase commit (the
+//! `XTxnCoordinator` engine of `qbc-core`, hosted at the home shard's
+//! coordinator site). Each branch runs the paper's quorum commit up to
+//! its in-shard commit point, holds there, and votes upward; the
+//! durably logged cross-shard decision is relayed to every branch and
+//! rediscovered by orphaned sites, so the atomicity audit holds over
+//! the whole shard set. Group commit
 //! (`qbc_db::NodeConfig::group_commit`, `force_latency`) is configured
-//! per cluster here and exercised by `e13_cluster_throughput`.
+//! per cluster here and exercised by `e13_cluster_throughput`; decided
+//! transaction state can be retired after a re-announce window
+//! ([`ClusterConfig::retire_after`]) to bound per-site tables.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,10 +1,12 @@
 //! Item-space partitioning and replica placement.
 
 use crate::config::ClusterConfig;
-use qbc_core::WriteSet;
+use qbc_core::{ProtocolKind, TxnId, TxnSpec, WriteSet};
 use qbc_simnet::SiteId;
 use qbc_votes::{Catalog, CatalogBuilder, ItemId};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of one shard (replica group).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,28 +117,61 @@ impl ShardMap {
         (base..base + self.items_per_shard).map(ItemId).collect()
     }
 
-    /// The single shard a writeset routes to. Panics on an empty
-    /// writeset, an item outside the cluster's item space, or a
-    /// cross-shard writeset (cross-shard transactions are an open
-    /// ROADMAP item). Shared by both cluster front-ends so the two
-    /// substrates can never route the same writeset differently.
-    pub fn shard_of_writeset(&self, writeset: &WriteSet) -> ShardId {
-        let mut items = writeset.items();
-        let first = items
-            .next()
-            .expect("cannot submit a transaction with an empty writeset");
-        let shard = self
-            .shard_of_item(first)
-            .unwrap_or_else(|| panic!("{first:?} outside the cluster's item space"));
-        for item in items {
-            assert_eq!(
-                self.shard_of_item(item),
-                Some(shard),
-                "cross-shard writeset: {item:?} not in {shard} (single-shard \
-                 transactions only; see ROADMAP)"
-            );
+    /// Splits a writeset into its per-shard slices, in shard order: the
+    /// branch writesets of a cross-shard transaction (one entry means
+    /// the writeset is single-shard). Panics on an empty writeset or an
+    /// item outside the cluster's item space. Shared by both cluster
+    /// front-ends so the two substrates can never route the same
+    /// writeset differently.
+    pub fn split_writeset(&self, writeset: &WriteSet) -> Vec<(ShardId, WriteSet)> {
+        assert!(
+            !writeset.is_empty(),
+            "cannot submit a transaction with an empty writeset"
+        );
+        let mut by_shard: BTreeMap<ShardId, WriteSet> = BTreeMap::new();
+        for (&item, &value) in writeset.updates.iter() {
+            let shard = self
+                .shard_of_item(item)
+                .unwrap_or_else(|| panic!("{item:?} outside the cluster's item space"));
+            by_shard
+                .entry(shard)
+                .or_default()
+                .updates
+                .insert(item, value);
         }
-        shard
+        by_shard.into_iter().collect()
+    }
+
+    /// Builds the branch specs of a cross-shard transaction from its
+    /// writeset split ([`ShardMap::split_writeset`]): one spec per
+    /// shard, every one carrying `parent` (the cross-shard
+    /// coordinator's site). The home branch is coordinated by `parent`
+    /// itself (one hop saved); the others by `pick_coordinator`.
+    /// Shared by both cluster front-ends so the two substrates can
+    /// never plan the same cross-shard transaction differently.
+    pub fn xtxn_branches(
+        &self,
+        txn: TxnId,
+        protocol: ProtocolKind,
+        parent: SiteId,
+        home: ShardId,
+        split: Vec<(ShardId, WriteSet)>,
+        mut pick_coordinator: impl FnMut(ShardId) -> SiteId,
+    ) -> Vec<Arc<TxnSpec>> {
+        split
+            .into_iter()
+            .map(|(shard, ws)| {
+                let branch_coord = if shard == home {
+                    parent
+                } else {
+                    pick_coordinator(shard)
+                };
+                Arc::new(
+                    TxnSpec::from_catalog(txn, branch_coord, ws, protocol, self.catalog(shard))
+                        .with_parent(parent),
+                )
+            })
+            .collect()
     }
 }
 
@@ -169,6 +204,22 @@ mod tests {
             vec![SiteId(3), SiteId(4), SiteId(5), SiteId(3)],
             "round robin over shard 1's sites"
         );
+    }
+
+    #[test]
+    fn split_writeset_slices_by_shard_in_order() {
+        let m = map();
+        let ws = WriteSet::new([(ItemId(9), 1), (ItemId(0), 2), (ItemId(7), 3)]);
+        let split = m.split_writeset(&ws);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].0, ShardId(0));
+        assert_eq!(split[0].1, WriteSet::new([(ItemId(0), 2), (ItemId(7), 3)]));
+        assert_eq!(split[1].0, ShardId(1));
+        assert_eq!(split[1].1, WriteSet::new([(ItemId(9), 1)]));
+        // Single-shard writesets come back whole.
+        let single = m.split_writeset(&WriteSet::new([(ItemId(1), 4)]));
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].0, ShardId(0));
     }
 
     #[test]

@@ -46,9 +46,13 @@ impl TxnStatus {
 pub struct TxnHandle {
     /// Cluster-unique transaction id.
     pub txn: TxnId,
-    /// Shard the transaction runs on.
+    /// Shard the transaction runs on — for a cross-shard transaction,
+    /// its *home* shard (the shard of its lowest item, which hosts the
+    /// cross-shard coordinator); the full shard set is tracked by the
+    /// cluster front-end.
     pub shard: ShardId,
-    /// Site chosen (round-robin) to coordinate it.
+    /// Site chosen (round-robin) to coordinate it. For a cross-shard
+    /// transaction this is the cross-shard coordinator's site.
     pub coordinator: SiteId,
     /// Virtual time of submission.
     pub submitted_at: Time,
@@ -97,6 +101,8 @@ pub struct SimCluster {
     next_session: u32,
     rr_by_shard: Vec<u64>,
     handles: Vec<TxnHandle>,
+    /// Shard sets of cross-shard transactions (absent ⇒ single-shard).
+    xshards: BTreeMap<TxnId, Vec<ShardId>>,
     peak_queue: Vec<u64>,
 }
 
@@ -123,6 +129,7 @@ impl SimCluster {
             next_session: 0,
             rr_by_shard: vec![0; shards],
             handles: Vec::new(),
+            xshards: BTreeMap::new(),
             peak_queue: vec![0; shards],
         }
     }
@@ -152,29 +159,67 @@ impl SimCluster {
         }
     }
 
-    /// Submits a transaction at virtual time `at` (no waiting): the
-    /// shard is the writeset's shard, the coordinator rotates round-robin
-    /// over that shard's sites. Panics on an empty or cross-shard
-    /// writeset — cross-shard transactions are an open ROADMAP item.
+    /// Submits a transaction at virtual time `at` (no waiting). A
+    /// single-shard writeset runs the paper's protocol inside its shard,
+    /// coordinated by a round-robin-chosen site. A writeset spanning
+    /// shards is split into per-shard branches and driven by a
+    /// cross-shard (top-level 2PC) coordinator at its *home* shard —
+    /// the shard of its lowest item — with each branch holding at its
+    /// in-shard commit point until the cross-shard decision. Panics on
+    /// an empty writeset or items outside the cluster's space.
     pub fn submit_at(&mut self, at: Time, writeset: WriteSet) -> TxnHandle {
-        let shard = self.map.shard_of_writeset(&writeset);
-        let n = self.rr_by_shard[shard.0 as usize];
-        self.rr_by_shard[shard.0 as usize] += 1;
-        let coordinator = self.map.coordinator(shard, n);
+        let split = self.map.split_writeset(&writeset);
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
         let protocol = self.cfg.protocol;
-        self.sim.schedule_call(at, coordinator, move |node, ctx| {
-            node.begin_transaction(ctx, txn, writeset, protocol);
-        });
+        let (home, _) = split[0];
+        let coordinator = self.pick_coordinator(home);
+        if split.len() == 1 {
+            let (_, writeset) = split.into_iter().next().expect("one slice");
+            self.sim.schedule_call(at, coordinator, move |node, ctx| {
+                node.begin_transaction(ctx, txn, writeset, protocol);
+            });
+        } else {
+            let shards: Vec<ShardId> = split.iter().map(|(s, _)| *s).collect();
+            // Rotate the remote branch coordinators up front (the
+            // round-robin counters live next to the map).
+            let picks: BTreeMap<ShardId, SiteId> = shards
+                .iter()
+                .filter(|&&s| s != home)
+                .map(|&s| (s, self.pick_coordinator(s)))
+                .collect();
+            let branches = self
+                .map
+                .xtxn_branches(txn, protocol, coordinator, home, split, |s| picks[&s]);
+            self.xshards.insert(txn, shards);
+            self.sim.schedule_call(at, coordinator, move |node, ctx| {
+                node.begin_xshard(ctx, txn, branches);
+            });
+        }
         let handle = TxnHandle {
             txn,
-            shard,
+            shard: home,
             coordinator,
             submitted_at: at,
         };
         self.handles.push(handle);
         handle
+    }
+
+    /// Round-robin coordinator choice within a shard.
+    fn pick_coordinator(&mut self, shard: ShardId) -> SiteId {
+        let n = self.rr_by_shard[shard.0 as usize];
+        self.rr_by_shard[shard.0 as usize] += 1;
+        self.map.coordinator(shard, n)
+    }
+
+    /// The shard set of a handle: the involved shards of a cross-shard
+    /// transaction, or the handle's single shard.
+    pub fn shards_of(&self, h: &TxnHandle) -> Vec<ShardId> {
+        self.xshards
+            .get(&h.txn)
+            .cloned()
+            .unwrap_or_else(|| vec![h.shard])
     }
 
     /// [`SimCluster::submit_at`], recorded in `session`.
@@ -191,9 +236,7 @@ impl SimCluster {
             .map
             .shard_of_item(item)
             .unwrap_or_else(|| panic!("{item:?} outside the cluster's item space"));
-        let n = self.rr_by_shard[shard.0 as usize];
-        self.rr_by_shard[shard.0 as usize] += 1;
-        let coordinator = self.map.coordinator(shard, n);
+        let coordinator = self.pick_coordinator(shard);
         let req_id = self.next_read;
         self.next_read += 1;
         self.sim.schedule_call(at, coordinator, move |node, ctx| {
@@ -217,14 +260,24 @@ impl SimCluster {
         self.sim.run_to_quiescence(max_events)
     }
 
-    /// The decision for a handle, if any site of its shard has one.
+    /// The decision for a handle, if any site of its shard set has one.
     pub fn decision(&self, h: &TxnHandle) -> Option<Decision> {
         if let Some(d) = self.sim.node(h.coordinator).decision(h.txn) {
             return Some(d);
         }
-        self.map
-            .sites_iter(h.shard)
+        self.handle_sites(h)
             .find_map(|s| self.sim.node(s).decision(h.txn))
+    }
+
+    /// Every site hosting any part of a handle's transaction (all sites
+    /// of every involved shard).
+    fn handle_sites<'a>(&'a self, h: &'a TxnHandle) -> impl Iterator<Item = SiteId> + 'a {
+        let shards = self
+            .xshards
+            .get(&h.txn)
+            .map(|v| v.as_slice())
+            .unwrap_or(std::slice::from_ref(&h.shard));
+        shards.iter().flat_map(|&s| self.map.sites_iter(s))
     }
 
     /// Client-observable status of a handle (see [`TxnStatus`]).
@@ -234,8 +287,7 @@ impl SimCluster {
             Some(Decision::Abort) => TxnStatus::Aborted,
             None => {
                 let known = self
-                    .map
-                    .sites_iter(h.shard)
+                    .handle_sites(h)
                     .any(|s| self.sim.node(s).local_state(h.txn).is_some());
                 // A down coordinator may hold the transaction durably in
                 // its WAL and revive it on recovery: stay Pending until
@@ -289,7 +341,13 @@ impl SimCluster {
     /// accumulate across harvests.
     pub fn metrics_and_violations(&mut self) -> (ClusterMetrics, Vec<AtomicityViolation>) {
         let nodes: BTreeMap<SiteId, &SiteNode> = self.sim.nodes().collect();
-        let (mut metrics, violations) = harvest(&self.map, &self.handles, &nodes, self.sim.now());
+        let (mut metrics, violations) = harvest(
+            &self.map,
+            &self.handles,
+            &self.xshards,
+            &nodes,
+            self.sim.now(),
+        );
         for (i, m) in metrics.shards.iter_mut().enumerate() {
             self.peak_queue[i] = self.peak_queue[i].max(m.queue_depth);
             m.peak_queue_depth = self.peak_queue[i];
@@ -308,7 +366,14 @@ impl SimCluster {
     /// Transactions that terminated inconsistently (must be empty).
     pub fn atomicity_violations(&self) -> Vec<AtomicityViolation> {
         let nodes: BTreeMap<SiteId, &SiteNode> = self.sim.nodes().collect();
-        harvest(&self.map, &self.handles, &nodes, self.sim.now()).1
+        harvest(
+            &self.map,
+            &self.handles,
+            &self.xshards,
+            &nodes,
+            self.sim.now(),
+        )
+        .1
     }
 
     /// Diagnostic violations recorded by any engine (must be empty).

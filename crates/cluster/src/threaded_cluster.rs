@@ -10,7 +10,7 @@
 use crate::config::ClusterConfig;
 use crate::harvest::{build_nodes, harvest};
 use crate::metrics::{AtomicityViolation, ClusterMetrics};
-use crate::shard::ShardMap;
+use crate::shard::{ShardId, ShardMap};
 use crate::sim_cluster::TxnHandle;
 use qbc_core::{Decision, TxnId, WriteSet};
 use qbc_db::{NetMsg, SiteNode};
@@ -40,6 +40,8 @@ pub struct ThreadedCluster {
     next_txn: u64,
     rr_by_shard: Vec<u64>,
     handles: Vec<TxnHandle>,
+    /// Shard sets of cross-shard transactions (absent ⇒ single-shard).
+    xshards: BTreeMap<TxnId, Vec<ShardId>>,
 }
 
 impl ThreadedCluster {
@@ -65,6 +67,7 @@ impl ThreadedCluster {
             next_txn: 1,
             rr_by_shard: vec![0; shards],
             handles: Vec::new(),
+            xshards: BTreeMap::new(),
         }
     }
 
@@ -75,31 +78,59 @@ impl ThreadedCluster {
 
     /// Submits a transaction (returns immediately; the cluster threads
     /// run it concurrently). Routing rules match the sim front-end:
-    /// single-shard writesets, round-robin coordinators.
+    /// round-robin coordinators; a cross-shard writeset is split into
+    /// branches and started through the `NetMsg::BeginXTxn` wire
+    /// request at its home shard's coordinator.
     pub fn submit(&mut self, writeset: WriteSet) -> TxnHandle {
-        let shard = self.map.shard_of_writeset(&writeset);
-        let n = self.rr_by_shard[shard.0 as usize];
-        self.rr_by_shard[shard.0 as usize] += 1;
-        let coordinator = self.map.coordinator(shard, n);
+        let split = self.map.split_writeset(&writeset);
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.net.inject(
-            self.client,
-            coordinator,
-            NetMsg::BeginTxn {
-                txn,
-                writeset,
-                protocol: self.cfg.protocol,
-            },
-        );
+        let protocol = self.cfg.protocol;
+        let (home, _) = split[0];
+        let coordinator = self.pick_coordinator(home);
+        if split.len() == 1 {
+            let (_, writeset) = split.into_iter().next().expect("one slice");
+            self.net.inject(
+                self.client,
+                coordinator,
+                NetMsg::BeginTxn {
+                    txn,
+                    writeset,
+                    protocol,
+                },
+            );
+        } else {
+            let shards: Vec<ShardId> = split.iter().map(|(s, _)| *s).collect();
+            let picks: BTreeMap<ShardId, SiteId> = shards
+                .iter()
+                .filter(|&&s| s != home)
+                .map(|&s| (s, self.pick_coordinator(s)))
+                .collect();
+            let branches = self
+                .map
+                .xtxn_branches(txn, protocol, coordinator, home, split, |s| picks[&s]);
+            self.xshards.insert(txn, shards);
+            self.net.inject(
+                self.client,
+                coordinator,
+                NetMsg::BeginXTxn { txn, branches },
+            );
+        }
         let handle = TxnHandle {
             txn,
-            shard,
+            shard: home,
             coordinator,
             submitted_at: Time::ZERO,
         };
         self.handles.push(handle);
         handle
+    }
+
+    /// Round-robin coordinator choice within a shard.
+    fn pick_coordinator(&mut self, shard: ShardId) -> SiteId {
+        let n = self.rr_by_shard[shard.0 as usize];
+        self.rr_by_shard[shard.0 as usize] += 1;
+        self.map.coordinator(shard, n)
     }
 
     /// Applies a partition to the live network.
@@ -119,16 +150,25 @@ impl ThreadedCluster {
         let by_site: BTreeMap<SiteId, &SiteNode> = nodes.iter().map(|(s, n)| (*s, n)).collect();
         // `Time(u64::MAX)` ⇒ device backlogs read as drained (wall time
         // has no meaningful "now" after shutdown).
-        let (metrics, atomicity_violations) =
-            harvest(&self.map, &self.handles, &by_site, Time(u64::MAX));
+        let (metrics, atomicity_violations) = harvest(
+            &self.map,
+            &self.handles,
+            &self.xshards,
+            &by_site,
+            Time(u64::MAX),
+        );
         let decisions = self
             .handles
             .iter()
             .map(|h| {
-                let d = self
-                    .map
-                    .sites_of(h.shard)
-                    .into_iter()
+                let shards = self
+                    .xshards
+                    .get(&h.txn)
+                    .cloned()
+                    .unwrap_or_else(|| vec![h.shard]);
+                let d = shards
+                    .iter()
+                    .flat_map(|&s| self.map.sites_of(s))
                     .find_map(|s| by_site.get(&s).and_then(|n| n.decision(h.txn)));
                 (*h, d)
             })

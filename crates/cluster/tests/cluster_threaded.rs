@@ -30,6 +30,35 @@ fn threaded_cluster_commits_across_two_shards() {
 }
 
 #[test]
+fn threaded_cluster_commits_a_cross_shard_writeset() {
+    let cfg = ClusterConfig {
+        t_bound: Duration(20),
+        seed: 9,
+        ..Default::default()
+    };
+    let mut cluster = ThreadedCluster::spawn(cfg, 1);
+    // Items 0 and 8 live in shards 0 and 1: one two-layer commit over
+    // the `BeginXTxn` wire path, plus single-shard traffic around it.
+    let x = cluster.submit(WriteSet::new([(ItemId(0), 41), (ItemId(8), 42)]));
+    let s0 = cluster.submit(WriteSet::new([(ItemId(1), 7)]));
+    let s1 = cluster.submit(WriteSet::new([(ItemId(9), 9)]));
+    std::thread::sleep(std::time::Duration::from_millis(900));
+    let report = cluster.shutdown();
+    assert_eq!(report.atomicity_violations, vec![]);
+    for (h, d) in &report.decisions {
+        assert!(d.is_some(), "{h:?} undecided on the threaded substrate");
+    }
+    let _ = (s0, s1);
+    let xd = report
+        .decisions
+        .iter()
+        .find(|(h, _)| h.txn == x.txn)
+        .and_then(|(_, d)| *d);
+    assert!(xd.is_some(), "cross-shard transaction undecided");
+    assert_eq!(report.metrics.total_undecided(), 0);
+}
+
+#[test]
 fn threaded_cluster_with_group_commit_still_commits() {
     let cfg = ClusterConfig {
         t_bound: Duration(20),

@@ -17,6 +17,11 @@ use qbc_votes::ItemId;
 /// The pinned digest of `scenario()` (see module docs for re-deriving).
 const GOLDEN_DIGEST: u64 = 0x2bb70a66ca8e2556;
 
+/// The pinned digest of `xshard_scenario()`: the cross-shard (two-layer
+/// commit) schedule, pinned the same way. Re-derive with
+/// `QBC_PRINT_XSHARD_DIGEST=1`.
+const GOLDEN_XSHARD_DIGEST: u64 = 0x9b3c32b97d00abd7;
+
 fn fnv1a(h: u64, word: u64) -> u64 {
     let mut h = h;
     for b in word.to_le_bytes() {
@@ -84,6 +89,70 @@ fn scenario() -> u64 {
     digest
 }
 
+/// A deterministic *cross-shard* scenario: three shards, a mixed
+/// single/multi-shard workload, a crash and recovery of the busiest
+/// cross-shard coordinator site mid-stream (exercising the top-level
+/// presumed-abort/re-announce and outcome-discovery paths).
+fn xshard_scenario() -> u64 {
+    let cfg = ClusterConfig {
+        shards: 3,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 8,
+        seed: 7,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::new(cfg);
+    cluster.sim_mut().schedule_crash(Time(150), SiteId(0));
+    cluster.sim_mut().schedule_recover(Time(800), SiteId(0));
+
+    for i in 0..36u64 {
+        let ws = match i % 3 {
+            // Single-shard filler.
+            0 => WriteSet::new([(ItemId(((i / 3) % 24) as u32), i as i64)]),
+            // Two-shard: one item on shard (i%3 derived), one on the next.
+            1 => {
+                let a = (i % 8) as u32;
+                let b = 8 + ((i * 3) % 8) as u32;
+                WriteSet::new([(ItemId(a), i as i64), (ItemId(b), (i * 7) as i64)])
+            }
+            // Three-shard.
+            _ => WriteSet::new([
+                (ItemId((i % 8) as u32), i as i64),
+                (ItemId(8 + ((i + 2) % 8) as u32), (i * 11) as i64),
+                (ItemId(16 + ((i + 5) % 8) as u32), (i * 13) as i64),
+            ]),
+        };
+        cluster.submit_at(Time(i * 23), ws);
+    }
+    for _ in 0..50 {
+        if cluster.run_to_quiescence(5_000_000).drained() {
+            break;
+        }
+    }
+
+    let mut digest = 0xcbf29ce484222325u64;
+    let handles: Vec<_> = cluster.handles().to_vec();
+    for h in &handles {
+        let d = match cluster.decision(h) {
+            Some(Decision::Commit) => 1u64,
+            Some(Decision::Abort) => 2,
+            None => 3,
+        };
+        let at = cluster
+            .sim()
+            .node(h.coordinator)
+            .decided_at(h.txn)
+            .map_or(0, |t| t.0);
+        digest = fnv1a(digest, h.txn.0);
+        digest = fnv1a(digest, d);
+        digest = fnv1a(digest, at);
+    }
+    digest = fnv1a(digest, cluster.now().0);
+    digest = fnv1a(digest, cluster.sim().events_processed());
+    digest
+}
+
 #[test]
 fn fixed_seed_scenario_matches_golden_digest() {
     let digest = scenario();
@@ -100,4 +169,27 @@ fn fixed_seed_scenario_matches_golden_digest() {
 #[test]
 fn scenario_is_self_consistent_across_two_runs() {
     assert_eq!(scenario(), scenario(), "same-process nondeterminism");
+}
+
+#[test]
+fn fixed_seed_xshard_scenario_matches_golden_digest() {
+    let digest = xshard_scenario();
+    if std::env::var("QBC_PRINT_XSHARD_DIGEST").is_ok() {
+        panic!("xshard digest = {digest:#x}");
+    }
+    assert_eq!(
+        digest, GOLDEN_XSHARD_DIGEST,
+        "cross-shard event schedule changed: got {digest:#x}, pinned \
+         {GOLDEN_XSHARD_DIGEST:#x}. A perf refactor must be \
+         schedule-preserving; see module docs."
+    );
+}
+
+#[test]
+fn xshard_scenario_is_self_consistent_across_two_runs() {
+    assert_eq!(
+        xshard_scenario(),
+        xshard_scenario(),
+        "same-process nondeterminism"
+    );
 }

@@ -1,0 +1,156 @@
+//! End-to-end cross-shard transactions on the deterministic substrate:
+//! multi-shard writesets through `Session::submit`, committed values
+//! installed on every involved shard, no-votes and lock conflicts
+//! aborting every branch together.
+
+use qbc_cluster::{ClusterConfig, ShardId, SimCluster, TxnStatus};
+use qbc_core::{Decision, WriteSet};
+use qbc_db::ReadResult;
+use qbc_simnet::Time;
+use qbc_votes::ItemId;
+
+fn cluster(shards: u32, seed: u64) -> SimCluster {
+    SimCluster::new(ClusterConfig {
+        shards,
+        seed,
+        ..ClusterConfig::default()
+    })
+}
+
+/// One item per involved shard (items are contiguous per shard, 8 each
+/// under the default config).
+fn xws(shards: &[u32], base: i64) -> WriteSet {
+    WriteSet::new(
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (ItemId(s * 8 + (i as u32 % 8)), base + i as i64)),
+    )
+}
+
+#[test]
+fn cross_shard_writeset_commits_end_to_end() {
+    let mut c = cluster(2, 1);
+    let mut session = c.open_session();
+    let h = c.submit(&mut session, Time(0), xws(&[0, 1], 100));
+    let d = c.await_decision(&h, Time(100_000));
+    assert_eq!(d, Some(Decision::Commit));
+    c.run_to_quiescence(5_000_000);
+    assert_eq!(c.status(&h), TxnStatus::Committed);
+    assert_eq!(c.shards_of(&h), vec![ShardId(0), ShardId(1)]);
+    assert_eq!(
+        c.sim().node(h.coordinator).x_decision(h.txn),
+        Some(Decision::Commit),
+        "the cross-shard coordinator records the top-level decision"
+    );
+    assert_eq!(c.atomicity_violations(), vec![]);
+    assert_eq!(c.engine_violations(), vec![]);
+
+    // Every site of both shards decided commit, and the written values
+    // are durably installed on every copy.
+    for (site, node) in c.sim().nodes() {
+        assert_eq!(
+            node.decision(h.txn),
+            Some(Decision::Commit),
+            "{site} disagrees"
+        );
+    }
+    let reads = [c.read_at(c.now(), ItemId(0)), c.read_at(c.now(), ItemId(9))];
+    c.run_to_quiescence(1_000_000);
+    for (r, want) in reads.iter().zip([100, 101]) {
+        match c.read_result(r) {
+            Some(ReadResult::Success { value, .. }) => assert_eq!(value, want),
+            other => panic!("read of {:?} did not succeed: {other:?}", r.item),
+        }
+    }
+}
+
+#[test]
+fn three_shard_transaction_commits_once_per_shard_version() {
+    let mut c = cluster(3, 5);
+    let h = c.submit_at(Time(0), xws(&[0, 1, 2], 500));
+    assert_eq!(c.await_decision(&h, Time(100_000)), Some(Decision::Commit));
+    c.run_to_quiescence(5_000_000);
+    assert_eq!(c.atomicity_violations(), vec![]);
+    assert_eq!(c.engine_violations(), vec![]);
+    let m = c.metrics();
+    assert_eq!(m.total_committed(), 1);
+    assert_eq!(m.total_undecided(), 0);
+}
+
+#[test]
+fn conflicting_cross_shard_transactions_stay_atomic() {
+    // Two cross-shard transactions over the same items, submitted
+    // simultaneously: no-wait 2PL makes at least one branch vote no at
+    // one shard; that abort must reach the *other* shard's branch too.
+    let mut c = cluster(2, 7);
+    let a = c.submit_at(Time(0), xws(&[0, 1], 100));
+    let b = c.submit_at(Time(0), xws(&[0, 1], 200));
+    c.run_to_quiescence(5_000_000);
+    assert_eq!(c.atomicity_violations(), vec![]);
+    assert_eq!(c.engine_violations(), vec![]);
+    for h in [&a, &b] {
+        let d = c.decision(h);
+        assert!(d.is_some(), "{h:?} undecided");
+        // Same outcome at every site of both shards.
+        for (site, node) in c.sim().nodes() {
+            if let Some(site_d) = node.decision(h.txn) {
+                assert_eq!(site_d, d.unwrap(), "{site} disagrees on {h:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_single_and_cross_shard_load_settles_consistently() {
+    let mut c = cluster(3, 11);
+    for k in 0..40u64 {
+        let at = Time(k * 40);
+        let ws = match k % 4 {
+            // Single-shard fillers on rotating shards.
+            0 | 1 => {
+                let shard = (k % 3) as u32;
+                WriteSet::new([(ItemId(shard * 8 + (k % 8) as u32), k as i64)])
+            }
+            // Two-shard.
+            2 => xws(&[(k % 3) as u32, ((k + 1) % 3) as u32], k as i64),
+            // Three-shard.
+            _ => xws(&[0, 1, 2], k as i64),
+        };
+        c.submit_at(at, ws);
+    }
+    let mut drained = false;
+    for _ in 0..50 {
+        if c.run_to_quiescence(5_000_000).drained() {
+            drained = true;
+            break;
+        }
+    }
+    assert!(drained, "cluster must quiesce");
+    assert_eq!(c.atomicity_violations(), vec![]);
+    assert_eq!(c.engine_violations(), vec![]);
+    let m = c.metrics();
+    assert_eq!(m.total_undecided(), 0);
+    assert_eq!(m.total_committed() + m.total_aborted(), 40);
+    assert!(
+        m.total_committed() >= 40 * 6 / 10,
+        "only {}/40 committed",
+        m.total_committed()
+    );
+    let handles: Vec<_> = c.handles().to_vec();
+    assert!(handles.iter().all(|h| c.status(h).is_resolved()));
+}
+
+#[test]
+fn xshard_determinism_same_seed_same_outcome() {
+    let run = || {
+        let mut c = cluster(2, 23);
+        for k in 0..20u64 {
+            c.submit_at(Time(k * 30), xws(&[0, 1], k as i64));
+        }
+        c.run_to_quiescence(10_000_000);
+        let m = c.metrics();
+        (m.total_committed(), m.total_aborted(), m.total_wal_forces())
+    };
+    assert_eq!(run(), run());
+}

@@ -51,6 +51,13 @@ pub enum TimerKind {
         /// Transaction.
         txn: TxnId,
     },
+    /// Cross-shard coordinator collecting branch votes (long enough for
+    /// a full in-shard vote + prepare round per branch; the driver maps
+    /// it to a multiple of `2T`).
+    XVoteCollection {
+        /// Cross-shard transaction.
+        txn: TxnId,
+    },
 }
 
 /// An effect requested by a protocol engine.

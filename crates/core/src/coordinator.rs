@@ -34,6 +34,10 @@ pub enum CoordPhase {
     SolicitingVotes,
     /// Phase 2 (not in 2PC): waiting for PC-ACKs.
     Preparing,
+    /// Branch of a cross-shard transaction at its in-shard commit point:
+    /// prepared but undecided. The engine has voted yes to the parent
+    /// and holds here — only the parent's `X-DECIDE` terminates it.
+    Held,
     /// Decision reached and commanded.
     Decided(Decision),
     /// Gave up (quorum protocols): handed off to the termination path.
@@ -174,7 +178,7 @@ impl Coordinator {
         self.votes.insert(from, (yes, max_version));
         if !yes {
             // "The transaction can be committed iff every site votes yes."
-            return self.decide(Decision::Abort);
+            return self.abort_unilaterally();
         }
         if self.votes.len() == self.spec.participants.len() {
             // All yes: fix the commit version — one past the newest copy
@@ -187,6 +191,10 @@ impl Coordinator {
                 .unwrap_or(Version::INITIAL);
             self.commit_version = Some(v.next());
             match self.spec.protocol {
+                // 2PC has no prepare round: all-yes is its commit point.
+                // For a branch, durable yes votes *are* the prepared
+                // state (classic hierarchical 2PC), so hold there.
+                ProtocolKind::TwoPhase if self.spec.is_branch() => self.hold_and_vote_yes(),
                 ProtocolKind::TwoPhase => self.decide(Decision::Commit),
                 _ => {
                     self.phase = CoordPhase::Preparing;
@@ -236,9 +244,71 @@ impl Coordinator {
             }
         }
         if self.commit_point_reached() {
-            self.decide(Decision::Commit)
+            if self.spec.is_branch() {
+                self.hold_and_vote_yes()
+            } else {
+                self.decide(Decision::Commit)
+            }
         } else {
             Vec::new()
+        }
+    }
+
+    /// Branch commit point: instead of committing, hold and cast this
+    /// shard's yes vote to the cross-shard coordinator. From here on the
+    /// branch may not decide unilaterally — no log record is needed,
+    /// because recovery of a (non-2PC-parented) branch coordinator never
+    /// presumes abort; it rediscovers the outcome from the parent.
+    fn hold_and_vote_yes(&mut self) -> Vec<Action> {
+        let parent = self.spec.parent.expect("held only for branches");
+        self.phase = CoordPhase::Held;
+        vec![Action::Send(
+            parent,
+            Msg::XVote {
+                txn: self.spec.id,
+                yes: true,
+                commit_version: self.commit_version,
+            },
+        )]
+    }
+
+    /// Aborts before this branch voted yes (no vote received, or the
+    /// vote window expired) — always safe: the parent has not counted a
+    /// yes from this shard. A plain transaction aborts exactly as
+    /// before; a branch additionally reports the no vote upward.
+    fn abort_unilaterally(&mut self) -> Vec<Action> {
+        let mut actions = self.decide(Decision::Abort);
+        if let Some(parent) = self.spec.parent {
+            actions.push(Action::Send(
+                parent,
+                Msg::XVote {
+                    txn: self.spec.id,
+                    yes: false,
+                    commit_version: None,
+                },
+            ));
+        }
+        actions
+    }
+
+    /// The cross-shard decision arrived (branches only): terminate the
+    /// held branch with the parent's outcome. Idempotent once decided.
+    pub fn on_x_decide(
+        &mut self,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) -> Vec<Action> {
+        debug_assert!(self.spec.is_branch(), "X-DECIDE at a non-branch engine");
+        match self.phase {
+            CoordPhase::Decided(_) => Vec::new(),
+            _ => {
+                if decision == Decision::Commit && commit_version.is_some() {
+                    // The parent echoes the version we reported at Held;
+                    // adopt it (defensive no-op in the normal case).
+                    self.commit_version = commit_version;
+                }
+                self.decide(decision)
+            }
         }
     }
 
@@ -302,8 +372,9 @@ impl Coordinator {
         if self.phase != CoordPhase::SolicitingVotes {
             return Vec::new();
         }
-        // Missing votes: presumed-abort.
-        self.decide(Decision::Abort)
+        // Missing votes: presumed-abort (safe for branches too — the
+        // yes vote to the parent has not been cast).
+        self.abort_unilaterally()
     }
 
     /// Ack-collection window expired.
@@ -315,7 +386,9 @@ impl Coordinator {
             // 3PC proceeds: non-acking participants are presumed crashed;
             // they will learn the outcome at recovery. (Under a
             // *partition* this presumption is exactly what Example 2
-            // exploits — faithful to the original protocol.)
+            // exploits — faithful to the original protocol.) A branch
+            // holds at this commit point instead of committing.
+            ProtocolKind::ThreePhase if self.spec.is_branch() => self.hold_and_vote_yes(),
             ProtocolKind::ThreePhase => self.decide(Decision::Commit),
             // The quorum protocols may not commit below quorum: hand off
             // to the termination protocol (the coordinator is also a
@@ -324,7 +397,20 @@ impl Coordinator {
             | ProtocolKind::QuorumCommit1
             | ProtocolKind::QuorumCommit2 => {
                 if self.commit_point_reached() {
-                    self.decide(Decision::Commit)
+                    if self.spec.is_branch() {
+                        self.hold_and_vote_yes()
+                    } else {
+                        self.decide(Decision::Commit)
+                    }
+                } else if self.spec.is_branch() {
+                    // Below quorum, but PREPARE-TO-COMMITs are out: some
+                    // participants may durably be in PC, so a unilateral
+                    // abort is no longer this engine's call and the
+                    // in-shard termination path is disabled for branches.
+                    // Keep collecting: either the acks complete (→ Held)
+                    // or the parent's vote window expires and X-DECIDE
+                    // aborts the branch.
+                    Vec::new()
                 } else {
                     self.phase = CoordPhase::HandedOff;
                     vec![Action::RequestTermination { txn: self.spec.id }]
@@ -360,6 +446,7 @@ mod tests {
             writeset: WriteSet::new([(ItemId(0), 10), (ItemId(1), 20)]),
             participants: (1..=8).map(SiteId).collect(),
             protocol,
+            parent: None,
         })
     }
 
@@ -553,6 +640,118 @@ mod tests {
         c.start();
         assert!(c.on_vote(SiteId(99), true, Version(0), &cat).is_empty());
         assert_eq!(c.phase(), CoordPhase::SolicitingVotes);
+    }
+
+    fn branch_spec(protocol: ProtocolKind) -> std::sync::Arc<TxnSpec> {
+        std::sync::Arc::new(TxnSpec {
+            parent: Some(SiteId(42)),
+            ..(*spec(protocol)).clone()
+        })
+    }
+
+    #[test]
+    fn branch_holds_at_commit_point_and_votes_yes_upward() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit2), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        assert!(c.on_pc_ack(SiteId(1), &cat).is_empty());
+        let actions = c.on_pc_ack(SiteId(2), &cat);
+        assert!(
+            matches!(
+                actions[0],
+                Action::Send(
+                    SiteId(42),
+                    Msg::XVote {
+                        yes: true,
+                        commit_version: Some(Version(1)),
+                        ..
+                    }
+                )
+            ),
+            "commit point of a branch casts the X vote instead of committing: {actions:?}"
+        );
+        assert_eq!(c.phase(), CoordPhase::Held);
+    }
+
+    #[test]
+    fn branch_two_phase_holds_on_all_yes() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::TwoPhase), None);
+        c.start();
+        let actions = all_yes(&mut c, &cat, 8);
+        assert!(matches!(
+            actions[0],
+            Action::Send(SiteId(42), Msg::XVote { yes: true, .. })
+        ));
+        assert_eq!(c.phase(), CoordPhase::Held);
+    }
+
+    #[test]
+    fn branch_no_vote_aborts_and_reports_upward() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        c.on_vote(SiteId(1), true, Version(0), &cat);
+        let actions = c.on_vote(SiteId(2), false, Version(0), &cat);
+        assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Abort { .. })
+        ));
+        assert!(matches!(
+            actions.last(),
+            Some(Action::Send(SiteId(42), Msg::XVote { yes: false, .. }))
+        ));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
+    }
+
+    #[test]
+    fn branch_ack_timeout_below_quorum_keeps_waiting() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        c.on_pc_ack(SiteId(1), &cat);
+        assert!(
+            c.on_ack_timer(&cat).is_empty(),
+            "a branch below quorum must not hand off to in-shard termination"
+        );
+        assert_eq!(c.phase(), CoordPhase::Preparing);
+    }
+
+    #[test]
+    fn x_decide_terminates_a_held_branch() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit2), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        c.on_pc_ack(SiteId(1), &cat);
+        c.on_pc_ack(SiteId(2), &cat);
+        assert_eq!(c.phase(), CoordPhase::Held);
+        let actions = c.on_x_decide(Decision::Commit, Some(Version(1)));
+        assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Commit { .. })
+        ));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Commit));
+        // Idempotent once decided.
+        assert!(c.on_x_decide(Decision::Commit, Some(Version(1))).is_empty());
+    }
+
+    #[test]
+    fn x_decide_abort_terminates_a_preparing_branch() {
+        let cat = catalog();
+        let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
+        c.start();
+        all_yes(&mut c, &cat, 8);
+        let actions = c.on_x_decide(Decision::Abort, None);
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast(_, Msg::Abort { .. })
+        ));
+        assert_eq!(c.phase(), CoordPhase::Decided(Decision::Abort));
     }
 
     #[test]

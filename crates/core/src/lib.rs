@@ -33,16 +33,18 @@ pub mod rules;
 mod states;
 mod termination;
 mod types;
+mod xshard;
 
 pub use actions::{Action, TimerKind};
 pub use coordinator::{CoordPhase, Coordinator};
-pub use log::{recover_state, LogRecord, RecoveredTxn};
+pub use log::{recover_state, recover_xstate, LogRecord, RecoveredTxn, RecoveredXTxn};
 pub use messages::Msg;
 pub use participant::{FaultyMode, Participant, ParticipantConfig};
 pub use rules::{Phase2Outcome, StateView, TerminationKind};
 pub use states::{LocalState, Transition};
 pub use termination::{Termination, TerminationPhase};
 pub use types::{CommitVersion, Decision, ProtocolKind, SiteVotes, TxnId, TxnSpec, WriteSet};
+pub use xshard::{XPhase, XTxnCoordinator};
 
 /// Derives the termination rule set for a protocol kind.
 ///

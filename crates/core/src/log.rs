@@ -55,6 +55,31 @@ pub enum LogRecord {
         /// Version installed when committing.
         commit_version: Option<Version>,
     },
+    /// Written by a *cross-shard* coordinator before soliciting branch
+    /// votes: the branch specs (and this site's cross-shard
+    /// coordinatorship) are durable, so recovery can apply top-level
+    /// presumed abort — the absence of a durable [`LogRecord::XDecision`]
+    /// proves no `X-DECIDE` commit was ever sent.
+    XStart {
+        /// Cross-shard transaction.
+        txn: TxnId,
+        /// One spec per involved shard, each with `parent` set to this
+        /// site (shared with the engine and the `X-BRANCH-REQ` fan-out).
+        branches: Vec<Arc<TxnSpec>>,
+    },
+    /// The cross-shard commit point: the top-level decision, forced
+    /// before any `X-DECIDE` leaves this site. Carries every branch's
+    /// in-shard commit version so a recovering coordinator can
+    /// re-announce the correct version to each shard.
+    XDecision {
+        /// Cross-shard transaction.
+        txn: TxnId,
+        /// The irrevocable top-level outcome.
+        decision: Decision,
+        /// `(branch coordinator, branch commit version)` per branch,
+        /// in [`LogRecord::XStart`] branch order.
+        branch_versions: Vec<(qbc_simnet::SiteId, Option<Version>)>,
+    },
 }
 
 impl LogRecord {
@@ -65,7 +90,9 @@ impl LogRecord {
             LogRecord::VotedNo { txn }
             | LogRecord::PreCommit { txn, .. }
             | LogRecord::PreAbort { txn }
-            | LogRecord::Decided { txn, .. } => *txn,
+            | LogRecord::Decided { txn, .. }
+            | LogRecord::XStart { txn, .. }
+            | LogRecord::XDecision { txn, .. } => *txn,
         }
     }
 }
@@ -92,6 +119,12 @@ pub fn recover_state<'a>(
     let mut out: std::collections::BTreeMap<TxnId, RecoveredTxn> =
         std::collections::BTreeMap::new();
     for rec in records {
+        // Cross-shard coordinator records describe the top-level 2PC
+        // role, not this site's participant state: recovered separately
+        // by [`recover_xstate`].
+        if matches!(rec, LogRecord::XStart { .. } | LogRecord::XDecision { .. }) {
+            continue;
+        }
         let entry = out.entry(rec.txn()).or_insert(RecoveredTxn {
             spec: None,
             state: LocalState::Initial,
@@ -137,6 +170,58 @@ pub fn recover_state<'a>(
                     entry.commit_version = *commit_version;
                 }
             }
+            LogRecord::XStart { .. } | LogRecord::XDecision { .. } => unreachable!("skipped above"),
+        }
+    }
+    out
+}
+
+/// `(branch coordinator, in-shard commit version)` per branch — the
+/// payload of [`LogRecord::XDecision`].
+pub type BranchVersions = Vec<(qbc_simnet::SiteId, Option<Version>)>;
+
+/// The durable state of one *cross-shard* coordination reconstructed
+/// from the log (the top-level 2PC counterpart of [`RecoveredTxn`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveredXTxn {
+    /// The branch specs logged at start.
+    pub branches: Vec<Arc<TxnSpec>>,
+    /// The logged top-level decision with per-branch commit versions,
+    /// if the transaction reached its cross-shard commit point.
+    pub decision: Option<(Decision, BranchVersions)>,
+}
+
+/// Replays a site's log into per-transaction cross-shard coordinator
+/// state. A transaction recovered *without* a decision is presumed
+/// aborted by the recovering coordinator (the top-level analogue of 2PC
+/// presumed abort): no durable [`LogRecord::XDecision`] means no
+/// `X-DECIDE` was ever sent, so abort is still safe.
+pub fn recover_xstate<'a>(
+    records: impl IntoIterator<Item = &'a LogRecord>,
+) -> std::collections::BTreeMap<TxnId, RecoveredXTxn> {
+    let mut out: std::collections::BTreeMap<TxnId, RecoveredXTxn> =
+        std::collections::BTreeMap::new();
+    for rec in records {
+        match rec {
+            LogRecord::XStart { txn, branches } => {
+                out.entry(*txn).or_insert(RecoveredXTxn {
+                    branches: branches.clone(),
+                    decision: None,
+                });
+            }
+            LogRecord::XDecision {
+                txn,
+                decision,
+                branch_versions,
+            } => {
+                if let Some(x) = out.get_mut(txn) {
+                    // The decision is irrevocable: keep the first.
+                    if x.decision.is_none() {
+                        x.decision = Some((*decision, branch_versions.clone()));
+                    }
+                }
+            }
+            _ => {}
         }
     }
     out
@@ -155,6 +240,7 @@ mod tests {
             writeset: WriteSet::default(),
             participants: Default::default(),
             protocol: ProtocolKind::ThreePhase,
+            parent: None,
         })
     }
 
@@ -215,6 +301,43 @@ mod tests {
         assert_eq!(state[&TxnId(1)].state, LocalState::Committed);
         assert_eq!(state[&TxnId(1)].commit_version, Some(Version(2)));
         assert_eq!(state[&TxnId(2)].state, LocalState::PreAbort);
+    }
+
+    #[test]
+    fn x_records_recover_separately_from_participant_state() {
+        let records = vec![
+            LogRecord::XStart {
+                txn: TxnId(5),
+                branches: vec![spec(5)],
+            },
+            LogRecord::Voted { spec: spec(5) },
+            LogRecord::XDecision {
+                txn: TxnId(5),
+                decision: Decision::Commit,
+                branch_versions: vec![(SiteId(1), Some(Version(2)))],
+            },
+        ];
+        // Participant recovery sees only the Voted record.
+        let state = recover_state(&records);
+        assert_eq!(state[&TxnId(5)].state, LocalState::Wait);
+        // X recovery sees the start and the decision.
+        let x = recover_xstate(&records);
+        assert_eq!(x[&TxnId(5)].branches.len(), 1);
+        assert_eq!(
+            x[&TxnId(5)].decision,
+            Some((Decision::Commit, vec![(SiteId(1), Some(Version(2)))]))
+        );
+    }
+
+    #[test]
+    fn xstart_without_decision_recovers_undecided() {
+        let records = vec![LogRecord::XStart {
+            txn: TxnId(9),
+            branches: vec![spec(9), spec(9)],
+        }];
+        let x = recover_xstate(&records);
+        assert_eq!(x[&TxnId(9)].decision, None);
+        assert_eq!(x[&TxnId(9)].branches.len(), 2);
     }
 
     #[test]

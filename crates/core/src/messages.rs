@@ -100,6 +100,48 @@ pub enum Msg {
         /// Commit version when the decision is Commit.
         commit_version: Option<Version>,
     },
+    /// Cross-shard coordinator → branch coordinator: run the in-shard
+    /// commit protocol for this branch and report your vote. The spec
+    /// carries `parent` (the cross-shard coordinator's site), so the
+    /// whole branch knows where the outcome authority lives.
+    XBranchReq {
+        /// The branch's transaction spec (one shard's slice of the
+        /// cross-shard writeset; shared like [`Msg::VoteReq`]'s).
+        spec: Arc<TxnSpec>,
+    },
+    /// Branch coordinator → cross-shard coordinator: this shard's
+    /// resource-manager vote. A yes means the branch reached its
+    /// in-shard commit point and is *held* there; the branch can no
+    /// longer abort unilaterally.
+    XVote {
+        /// Cross-shard transaction.
+        txn: TxnId,
+        /// True = this shard can commit (held at its commit point).
+        yes: bool,
+        /// The branch's in-shard commit version (yes votes only).
+        commit_version: Option<Version>,
+    },
+    /// Cross-shard coordinator → a branch site: the top-level decision.
+    /// Sent to every branch coordinator once decided (and re-announced
+    /// on recovery), and to any site that asks via [`Msg::XOutcomeReq`].
+    XDecide {
+        /// Cross-shard transaction.
+        txn: TxnId,
+        /// The irrevocable top-level outcome.
+        decision: Decision,
+        /// The *recipient's branch* commit version when committing.
+        commit_version: Option<Version>,
+    },
+    /// An orphaned branch site → cross-shard coordinator: what happened
+    /// to this transaction? (The branch replacement for the in-shard
+    /// termination protocol: a held branch may not decide unilaterally,
+    /// so coordinator silence triggers outcome discovery instead of an
+    /// election.) Answered with [`Msg::XDecide`] once decided; ignored
+    /// while undecided (the asker's watchdog retries).
+    XOutcomeReq {
+        /// Cross-shard transaction.
+        txn: TxnId,
+    },
 }
 
 impl Msg {
@@ -108,6 +150,7 @@ impl Msg {
         match self {
             Msg::VoteReq { spec } => spec.id,
             Msg::StateReq { spec, .. } => spec.id,
+            Msg::XBranchReq { spec } => spec.id,
             Msg::Vote { txn, .. }
             | Msg::PrepareCommit { txn, .. }
             | Msg::PcAck { txn }
@@ -116,7 +159,10 @@ impl Msg {
             | Msg::Commit { txn, .. }
             | Msg::Abort { txn }
             | Msg::StateRep { txn, .. }
-            | Msg::Decided { txn, .. } => *txn,
+            | Msg::Decided { txn, .. }
+            | Msg::XVote { txn, .. }
+            | Msg::XDecide { txn, .. }
+            | Msg::XOutcomeReq { txn } => *txn,
         }
     }
 }
@@ -136,6 +182,11 @@ impl Label for Msg {
             Msg::StateReq { .. } => "STATE-REQ",
             Msg::StateRep { .. } => "STATE-REP",
             Msg::Decided { .. } => "DECIDED",
+            Msg::XBranchReq { .. } => "X-BRANCH-REQ",
+            Msg::XVote { yes: true, .. } => "X-VOTE-YES",
+            Msg::XVote { yes: false, .. } => "X-VOTE-NO",
+            Msg::XDecide { .. } => "X-DECIDE",
+            Msg::XOutcomeReq { .. } => "X-OUTCOME-REQ",
         }
     }
 }
@@ -153,6 +204,7 @@ mod tests {
             writeset: WriteSet::default(),
             participants: Default::default(),
             protocol: ProtocolKind::QuorumCommit1,
+            parent: None,
         })
     }
 
@@ -192,6 +244,18 @@ mod tests {
                 decision: Decision::Commit,
                 commit_version: Some(Version(1)),
             },
+            Msg::XBranchReq { spec: spec() },
+            Msg::XVote {
+                txn: TxnId(7),
+                yes: true,
+                commit_version: Some(Version(1)),
+            },
+            Msg::XDecide {
+                txn: TxnId(7),
+                decision: Decision::Abort,
+                commit_version: None,
+            },
+            Msg::XOutcomeReq { txn: TxnId(7) },
         ];
         for m in &msgs {
             assert_eq!(m.txn(), TxnId(7), "{m:?}");

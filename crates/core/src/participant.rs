@@ -189,10 +189,16 @@ impl Participant {
                 Decision::Abort => self.on_abort(),
             },
             Msg::StateReq { round, spec } => self.on_state_req(*round, spec),
-            // Coordinator/termination-role messages are not ours.
-            Msg::Vote { .. } | Msg::PcAck { .. } | Msg::PaAck { .. } | Msg::StateRep { .. } => {
-                Vec::new()
-            }
+            // Coordinator/termination/cross-shard-role messages are not
+            // ours.
+            Msg::Vote { .. }
+            | Msg::PcAck { .. }
+            | Msg::PaAck { .. }
+            | Msg::StateRep { .. }
+            | Msg::XBranchReq { .. }
+            | Msg::XVote { .. }
+            | Msg::XDecide { .. }
+            | Msg::XOutcomeReq { .. } => Vec::new(),
         }
     }
 
@@ -421,6 +427,7 @@ mod tests {
             writeset: WriteSet::new([(ItemId(0), 42)]),
             participants: [SiteId(0), SiteId(1), SiteId(2)].into(),
             protocol: ProtocolKind::QuorumCommit1,
+            parent: None,
         })
     }
 

@@ -320,6 +320,7 @@ mod tests {
             writeset: WriteSet::new([(ItemId(0), 1), (ItemId(1), 2)]),
             participants: (1..=8).map(SiteId).collect(),
             protocol: ProtocolKind::QuorumCommit1,
+            parent: None,
         }
     }
 

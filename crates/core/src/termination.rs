@@ -358,6 +358,7 @@ mod tests {
             writeset: WriteSet::new([(ItemId(0), 10), (ItemId(1), 20)]),
             participants: (1..=8).map(SiteId).collect(),
             protocol: ProtocolKind::QuorumCommit1,
+            parent: None,
         })
     }
 

@@ -199,6 +199,13 @@ pub struct TxnSpec {
     pub participants: BTreeSet<SiteId>,
     /// Protocol the transaction runs under.
     pub protocol: ProtocolKind,
+    /// When this spec is one *branch* of a cross-shard transaction: the
+    /// site hosting the cross-shard (top-level 2PC) coordinator. A
+    /// branch runs the in-shard protocol up to its commit point, then
+    /// *holds* and votes to the parent instead of committing; the
+    /// parent's decision is the only authority that can terminate it
+    /// (in-shard termination is replaced by outcome discovery).
+    pub parent: Option<SiteId>,
 }
 
 impl TxnSpec {
@@ -217,7 +224,20 @@ impl TxnSpec {
             writeset,
             participants,
             protocol,
+            parent: None,
         }
+    }
+
+    /// Marks this spec as a branch of a cross-shard transaction whose
+    /// top-level coordinator runs at `parent` (builder style).
+    pub fn with_parent(mut self, parent: SiteId) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// True when this spec is a branch of a cross-shard transaction.
+    pub fn is_branch(&self) -> bool {
+        self.parent.is_some()
     }
 
     /// The items of `W(TR)`.

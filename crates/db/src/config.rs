@@ -52,6 +52,13 @@ pub struct NodeConfig {
     /// concurrency. Zero (the default) keeps the seed's instant-force
     /// model and changes nothing.
     pub force_latency: Duration,
+    /// Retire decided per-transaction state this long after the
+    /// decision (the `DECIDED` re-announce window): the heavy
+    /// engine/spec entry is replaced by a compact outcome record, so
+    /// the transaction table stays bounded on long-running sites while
+    /// stragglers still get their answer. `None` (the default) keeps
+    /// every entry forever (the seed behaviour).
+    pub retire_after: Option<Duration>,
 }
 
 impl NodeConfig {
@@ -71,6 +78,7 @@ impl NodeConfig {
             group_commit_window: Duration((t_bound.0 / 2).max(1)),
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
+            retire_after: None,
         }
     }
 
@@ -135,6 +143,20 @@ impl NodeConfig {
     /// storage slack.
     pub fn watchdog_3t(&self) -> Duration {
         Duration(self.t_bound.times(3).0 + self.storage_slack().times(3).0)
+    }
+
+    /// Cross-shard vote-collection window: long enough for the
+    /// `X-BRANCH-REQ` hop plus a full in-shard vote + prepare round and
+    /// the `X-VOTE` hop back (≈ 6 one-way delays), with storage slack —
+    /// three `2T` windows.
+    pub fn x_window(&self) -> Duration {
+        self.window_2t().times(3)
+    }
+
+    /// Sets the decided-state retention window (builder style).
+    pub fn with_retirement(mut self, after: Duration) -> Self {
+        self.retire_after = Some(after);
+        self
     }
 
     /// Sanity-check the protocol parameters for a given kind.

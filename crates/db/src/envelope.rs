@@ -53,6 +53,17 @@ pub enum NetMsg {
         /// Commit protocol to run.
         protocol: ProtocolKind,
     },
+    /// A client asks this site to coordinate a *cross-shard* transaction:
+    /// the wire form of [`crate::SiteNode::begin_xshard`]. The branch
+    /// specs are pre-split by the cluster layer (only it holds every
+    /// shard's catalog), each carrying this site as `parent`.
+    BeginXTxn {
+        /// Client-chosen transaction id (globally unique; shared by
+        /// every branch).
+        txn: TxnId,
+        /// One branch spec per involved shard.
+        branches: Vec<Arc<TxnSpec>>,
+    },
 }
 
 impl Label for NetMsg {
@@ -63,6 +74,7 @@ impl Label for NetMsg {
             NetMsg::ReadReq { .. } => "READ-REQ",
             NetMsg::ReadRep { .. } => "READ-REP",
             NetMsg::BeginTxn { .. } => "BEGIN-TXN",
+            NetMsg::BeginXTxn { .. } => "BEGIN-XTXN",
         }
     }
 }

@@ -26,15 +26,16 @@
 use crate::config::NodeConfig;
 use crate::envelope::{NetMsg, NodeTimer};
 use qbc_core::{
-    recover_state, Action, Coordinator, Decision, LocalState, LogRecord, Msg, Participant,
-    ParticipantConfig, ProtocolKind, Termination, TimerKind, Transition, TxnId, TxnSpec, WriteSet,
+    recover_state, recover_xstate, Action, Coordinator, Decision, LocalState, LogRecord, Msg,
+    Participant, ParticipantConfig, ProtocolKind, Termination, TimerKind, Transition, TxnId,
+    TxnSpec, WriteSet, XTxnCoordinator,
 };
 use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
 use qbc_locks::{LockManager, LockMode, LockOutcome};
 use qbc_simnet::{Ctx, Process, SiteId, Time, TimerId};
 use qbc_storage::SiteStorage;
 use qbc_votes::{Catalog, FastMap, ItemId, Version};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Outcome of a quorum read.
@@ -74,9 +75,64 @@ struct TxnState {
     watchdog_armed: bool,
     decided: Option<Decision>,
     decided_at: Option<Time>,
+    /// Commit version adopted with an engine-less decision (a recovered
+    /// copy-less branch coordinator learning `X-DECIDE` directly): the
+    /// participant never saw a command, so the version must be kept
+    /// here for retirement records and `Decided` re-announces.
+    decided_version: Option<Version>,
     blocked: bool,
     termination_rounds: u64,
     started_at: Time,
+}
+
+impl TxnState {
+    /// The commit version to re-announce with this entry's decision,
+    /// whichever role learned it.
+    fn commit_version(&self) -> Option<Version> {
+        self.participant
+            .commit_version()
+            .or_else(|| self.coordinator.as_ref().and_then(|c| c.commit_version()))
+            .or(self.decided_version)
+    }
+}
+
+/// Compact outcome of a retired (decided, past the re-announce window)
+/// transaction: everything a straggler's question can still need,
+/// without the engines, spec and audit trail of a live [`TxnState`].
+#[derive(Clone, Copy, Debug)]
+struct RetiredTxn {
+    decision: Decision,
+    commit_version: Option<Version>,
+    decided_at: Time,
+}
+
+/// Compact outcome of a retired cross-shard coordination: enough to
+/// keep answering `X-OUTCOME-REQ` from late orphans (per-branch
+/// membership and commit versions) after the engine and its specs are
+/// dropped.
+#[derive(Clone, Debug)]
+struct XRetired {
+    decision: Decision,
+    /// `(coordinator, participants, in-shard commit version)` per branch.
+    branches: Vec<(SiteId, BTreeSet<SiteId>, Option<Version>)>,
+}
+
+impl XRetired {
+    fn xdecide_for(&self, to: SiteId, txn: TxnId) -> Msg {
+        let commit_version = match self.decision {
+            Decision::Commit => self
+                .branches
+                .iter()
+                .find(|(c, p, _)| *c == to || p.contains(&to))
+                .and_then(|(_, _, v)| *v),
+            Decision::Abort => None,
+        };
+        Msg::XDecide {
+            txn,
+            decision: self.decision,
+            commit_version,
+        }
+    }
 }
 
 /// A diagnostic violation note recorded by the engines.
@@ -116,6 +172,16 @@ pub struct SiteNode {
     /// every message's path; nothing iterates it in an order-sensitive
     /// way (accessors sort), so O(1) lookups are free determinism-wise.
     txns: FastMap<TxnId, TxnState>,
+    /// Cross-shard (top-level 2PC) coordinations hosted at this site.
+    xcoords: FastMap<TxnId, XTxnCoordinator>,
+    /// Compact outcomes of retired transactions (see
+    /// [`NodeConfig::retire_after`]); rebuilt from the WAL on recovery.
+    retired: FastMap<TxnId, RetiredTxn>,
+    /// Compact outcomes of retired cross-shard coordinations.
+    xretired: FastMap<TxnId, XRetired>,
+    /// Decisions awaiting retirement, in decision-time order (times are
+    /// event times, hence monotonic — a plain queue, no heap needed).
+    retire_queue: VecDeque<(Time, TxnId)>,
     reads: BTreeMap<u64, ReadCollect>,
     violations: Vec<Violation>,
     /// Self-addressed messages processed synchronously (local delivery).
@@ -149,6 +215,10 @@ impl SiteNode {
             storage,
             locks: LockManager::new(),
             txns: FastMap::default(),
+            xcoords: FastMap::default(),
+            retired: FastMap::default(),
+            xretired: FastMap::default(),
+            retire_queue: VecDeque::new(),
             reads: BTreeMap::new(),
             violations: Vec::new(),
             local_queue: VecDeque::new(),
@@ -168,19 +238,54 @@ impl SiteNode {
 
     // ---- public inspection API (used by the harness and tests) --------
 
-    /// The decision reached for a transaction at this site, if any.
+    /// The decision reached for a transaction at this site, if any
+    /// (retired transactions keep answering from their compact record).
     pub fn decision(&self, txn: TxnId) -> Option<Decision> {
-        self.txns.get(&txn).and_then(|t| t.decided)
+        self.txns
+            .get(&txn)
+            .and_then(|t| t.decided)
+            .or_else(|| self.retired.get(&txn).map(|r| r.decision))
     }
 
     /// Virtual time at which this site decided the transaction.
     pub fn decided_at(&self, txn: TxnId) -> Option<Time> {
-        self.txns.get(&txn).and_then(|t| t.decided_at)
+        self.txns
+            .get(&txn)
+            .and_then(|t| t.decided_at)
+            .or_else(|| self.retired.get(&txn).map(|r| r.decided_at))
     }
 
     /// The local participant state for a transaction.
     pub fn local_state(&self, txn: TxnId) -> Option<LocalState> {
-        self.txns.get(&txn).map(|t| t.participant.state())
+        self.txns
+            .get(&txn)
+            .map(|t| t.participant.state())
+            .or_else(|| {
+                self.retired.get(&txn).map(|r| match r.decision {
+                    Decision::Commit => LocalState::Committed,
+                    Decision::Abort => LocalState::Aborted,
+                })
+            })
+    }
+
+    /// Number of live (unretired) per-transaction state entries — the
+    /// table the retention policy ([`NodeConfig::retire_after`]) bounds.
+    pub fn txn_table_len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Number of transactions retired to compact outcome records.
+    pub fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// The top-level decision of a cross-shard transaction coordinated
+    /// at this site, if reached.
+    pub fn x_decision(&self, txn: TxnId) -> Option<Decision> {
+        self.xcoords
+            .get(&txn)
+            .and_then(|x| x.decision())
+            .or_else(|| self.xretired.get(&txn).map(|x| x.decision))
     }
 
     /// True while the transaction is declared blocked at this site.
@@ -287,6 +392,54 @@ impl SiteNode {
         self.pump(ctx);
     }
 
+    /// Submits a *cross-shard* transaction at this site (this site runs
+    /// the top-level 2PC over the given per-shard branches and also
+    /// coordinates the branch whose spec names it).
+    ///
+    /// The branch specs are pre-split by the cluster layer — only it
+    /// holds every shard's catalog — each with `parent` set to this
+    /// site. Invoke inside the simulation via `Sim::schedule_call`, or
+    /// over the wire via [`NetMsg::BeginXTxn`].
+    pub fn begin_xshard(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        txn: TxnId,
+        branches: Vec<Arc<TxnSpec>>,
+    ) {
+        if self.xcoords.contains_key(&txn) || self.xretired.contains_key(&txn) {
+            return; // duplicate submission
+        }
+        let mut x = XTxnCoordinator::new(txn, branches);
+        let actions = x.start();
+        self.xcoords.insert(txn, x);
+        self.apply_actions(ctx, txn, self.cfg.site, actions);
+        self.pump(ctx);
+    }
+
+    /// Starts coordinating one branch of a cross-shard transaction
+    /// (`X-BRANCH-REQ` arrived, possibly self-addressed).
+    fn start_branch(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, spec: &Arc<TxnSpec>) {
+        debug_assert_eq!(spec.coordinator, self.cfg.site, "misrouted X-BRANCH-REQ");
+        debug_assert!(self.cfg.validate_for(spec.protocol).is_ok());
+        let txn = spec.id;
+        if self.retired.contains_key(&txn) {
+            return; // long decided; duplicate request
+        }
+        let state = self.ensure_txn(ctx.now(), spec);
+        state.started_at = ctx.now();
+        let st = self.txns.get_mut(&txn).expect("just ensured");
+        if st.coordinator.is_some() || st.decided.is_some() {
+            return; // duplicate request
+        }
+        let mut coord = Coordinator::new(Arc::clone(spec), self.cfg.site_votes.clone());
+        let actions = coord.start();
+        st.coordinator = Some(coord);
+        self.apply_actions(ctx, txn, self.cfg.site, actions);
+        // A held branch coordinator may be left orphaned by a crashed
+        // parent: the watchdog drives its outcome discovery.
+        self.arm_watchdog(ctx, txn);
+    }
+
     /// Starts a quorum read of `item`, collecting `r(item)` votes.
     pub fn start_read(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, req_id: u64, item: ItemId) {
         let Some(spec) = self.catalog.item(item) else {
@@ -340,6 +493,7 @@ impl SiteNode {
             watchdog_armed: false,
             decided: None,
             decided_at: None,
+            decided_version: None,
             blocked: false,
             termination_rounds: 0,
             started_at: now,
@@ -491,6 +645,9 @@ impl SiteNode {
                 // transports without direct node access.
                 self.begin_transaction(ctx, txn, writeset, protocol);
             }
+            NetMsg::BeginXTxn { txn, branches } => {
+                self.begin_xshard(ctx, txn, branches);
+            }
             NetMsg::ReadRep { req_id, item, copy } => {
                 let Some(weight) = self.catalog.item(item).map(|spec| spec.weight_at(from)) else {
                     return;
@@ -521,6 +678,71 @@ impl SiteNode {
 
     fn handle_proto(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, m: Msg) {
         let txn = m.txn();
+        // Cross-shard messages first: they address the X coordinator or
+        // the branch machinery, not the per-transaction participant
+        // table (and must work even when that table knows nothing yet).
+        match &m {
+            Msg::XBranchReq { spec } => {
+                self.start_branch(ctx, spec);
+                return;
+            }
+            Msg::XVote {
+                yes,
+                commit_version,
+                ..
+            } => {
+                if let Some(x) = self.xcoords.get_mut(&txn) {
+                    let was_decided = x.decision().is_some();
+                    let actions = x.on_vote(from, *yes, *commit_version);
+                    let now_decided = x.decision().is_some();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                    // Only the None→Some transition queues retirement;
+                    // late votes after the decision must not re-enqueue.
+                    if now_decided && !was_decided {
+                        self.schedule_retire(ctx.now(), txn);
+                    }
+                } else if let Some(xr) = self.xretired.get(&txn) {
+                    let reply = xr.xdecide_for(from, txn);
+                    self.send_net(ctx, from, NetMsg::Proto(reply));
+                }
+                return;
+            }
+            Msg::XOutcomeReq { .. } => {
+                if let Some(x) = self.xcoords.get_mut(&txn) {
+                    let actions = x.on_outcome_req(from);
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                } else if let Some(xr) = self.xretired.get(&txn) {
+                    let reply = xr.xdecide_for(from, txn);
+                    self.send_net(ctx, from, NetMsg::Proto(reply));
+                }
+                return;
+            }
+            Msg::XDecide {
+                decision,
+                commit_version,
+                ..
+            } => {
+                self.handle_x_decide(ctx, from, txn, *decision, *commit_version);
+                return;
+            }
+            _ => {}
+        }
+        // A retired transaction answers every straggler with its outcome
+        // instead of resurrecting state (`Decided` itself needs no
+        // answer — and must not echo into a reply loop).
+        if !self.txns.contains_key(&txn) {
+            if let Some(r) = self.retired.get(&txn) {
+                if !matches!(m, Msg::Decided { .. }) {
+                    let reply = Msg::Decided {
+                        txn,
+                        decision: r.decision,
+                        commit_version: r.commit_version,
+                    };
+                    self.send_net(ctx, from, NetMsg::Proto(reply));
+                }
+                return;
+            }
+        }
         // Learn the spec from spec-carrying messages.
         match &m {
             Msg::VoteReq { spec } | Msg::StateReq { spec, .. } => {
@@ -615,11 +837,101 @@ impl SiteNode {
                 | Msg::StateReq { .. } => {
                     actions = st.participant.on_msg(from, &m, local_max_version);
                 }
+                // Cross-shard messages returned early above.
+                Msg::XBranchReq { .. }
+                | Msg::XVote { .. }
+                | Msg::XDecide { .. }
+                | Msg::XOutcomeReq { .. } => unreachable!("dispatched before the txns lookup"),
             }
         }
         self.apply_actions(ctx, txn, from, actions);
         self.adopt_coordinator_decision(ctx.now(), txn);
         self.arm_watchdog(ctx, txn);
+    }
+
+    /// The cross-shard decision arrived at a branch site: terminate the
+    /// branch with the parent's outcome. At the branch coordinator the
+    /// engine broadcasts the command in-shard; a site without an engine
+    /// (a recovered coordinator, or a discovering participant) applies
+    /// or relays it directly. Idempotent once decided.
+    fn handle_x_decide(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        from: SiteId,
+        txn: TxnId,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) {
+        let site = self.cfg.site;
+        enum Route {
+            Engine(Vec<Action>),
+            Rebroadcast(Arc<TxnSpec>),
+            Participant(Vec<Action>),
+            Ignore,
+        }
+        let route = match self.txns.get_mut(&txn) {
+            None => Route::Ignore, // unknown or retired: nothing held here
+            Some(st) if st.decided.is_some() => Route::Ignore,
+            Some(st) => {
+                st.last_coord_contact = ctx.now();
+                if let Some(c) = st.coordinator.as_mut() {
+                    Route::Engine(c.on_x_decide(decision, commit_version))
+                } else if st.spec.coordinator == site {
+                    Route::Rebroadcast(Arc::clone(&st.spec))
+                } else {
+                    // A discovering participant: obey the command. The
+                    // version falls back to the locally learned PC
+                    // version; a commit without either is undeliverable
+                    // (cannot happen: the parent echoes the version our
+                    // branch reported) and is dropped defensively.
+                    let v = commit_version.or(st.participant.commit_version());
+                    let msg = match decision {
+                        Decision::Commit => v.map(|v| Msg::Commit {
+                            txn,
+                            commit_version: v,
+                        }),
+                        Decision::Abort => Some(Msg::Abort { txn }),
+                    };
+                    match msg {
+                        Some(m) if st.participant.state() != LocalState::Initial => {
+                            Route::Participant(st.participant.on_msg(from, &m, Version::INITIAL))
+                        }
+                        _ => Route::Ignore,
+                    }
+                }
+            }
+        };
+        match route {
+            Route::Ignore => {}
+            Route::Engine(actions) | Route::Participant(actions) => {
+                self.apply_actions(ctx, txn, self.cfg.site, actions);
+                self.adopt_coordinator_decision(ctx.now(), txn);
+            }
+            Route::Rebroadcast(spec) => {
+                // Recovered branch coordinator without an engine:
+                // re-issue the in-shard command (idempotent at every
+                // receiver; self-addressed copy terminates the local
+                // participant).
+                let msg = match decision {
+                    Decision::Commit => Msg::Commit {
+                        txn,
+                        commit_version: commit_version.expect("parent echoes branch version"),
+                    },
+                    Decision::Abort => Msg::Abort { txn },
+                };
+                for to in spec.participants.iter().copied() {
+                    self.send_net(ctx, to, NetMsg::Proto(msg.clone()));
+                }
+                if !spec.participants.contains(&site) {
+                    if let Some(st) = self.txns.get_mut(&txn) {
+                        st.decided = Some(decision);
+                        st.decided_at = Some(ctx.now());
+                        st.decided_version = commit_version;
+                    }
+                    self.schedule_retire(ctx.now(), txn);
+                }
+            }
+        }
     }
 
     /// A coordinator that holds no copies (it is a client, not a
@@ -636,6 +948,61 @@ impl SiteNode {
                 {
                     st.decided = Some(d);
                     st.decided_at = Some(now);
+                    self.schedule_retire(now, txn);
+                }
+            }
+        }
+    }
+
+    /// Queues a decided transaction (or cross-shard coordination) for
+    /// retirement after the re-announce window. No-op without a
+    /// configured [`NodeConfig::retire_after`].
+    fn schedule_retire(&mut self, now: Time, txn: TxnId) {
+        if self.cfg.retire_after.is_some() {
+            self.retire_queue.push_back((now, txn));
+        }
+    }
+
+    /// Retires everything decided longer than `retire_after` ago: the
+    /// heavy per-transaction entry (engines, spec, audit trail) is
+    /// replaced by a compact outcome record that keeps answering
+    /// stragglers, bounding the live tables on long-running sites. Runs
+    /// at the top of every message/timer delivery; the queue is in
+    /// decision-time order, so the scan stops at the first young entry.
+    fn sweep_retired(&mut self, now: Time) {
+        let Some(after) = self.cfg.retire_after else {
+            return;
+        };
+        while let Some(&(t, txn)) = self.retire_queue.front() {
+            if now.since(t) < after {
+                break;
+            }
+            self.retire_queue.pop_front();
+            if let Some(st) = self.txns.get(&txn) {
+                if let (Some(decision), Some(decided_at)) = (st.decided, st.decided_at) {
+                    let commit_version = st.commit_version();
+                    self.retired.insert(
+                        txn,
+                        RetiredTxn {
+                            decision,
+                            commit_version,
+                            decided_at,
+                        },
+                    );
+                    self.txns.remove(&txn);
+                }
+            }
+            if let Some(x) = self.xcoords.get(&txn) {
+                if let Some(decision) = x.decision() {
+                    let versions = x.branch_versions();
+                    let branches = x
+                        .branches()
+                        .iter()
+                        .zip(versions)
+                        .map(|(b, (_, v))| (b.coordinator, b.participants.clone(), v))
+                        .collect();
+                    self.xretired.insert(txn, XRetired { decision, branches });
+                    self.xcoords.remove(&txn);
                 }
             }
         }
@@ -712,6 +1079,7 @@ impl SiteNode {
                         | TimerKind::TerminationAcks { .. } => self.cfg.window_2t(),
                         TimerKind::CoordinatorWatch { .. } => self.cfg.watchdog_3t(),
                         TimerKind::BlockedRetry { .. } => self.cfg.blocked_retry,
+                        TimerKind::XVoteCollection { .. } => self.cfg.x_window(),
                     };
                     ctx.set_timer(span, NodeTimer::Proto(kind));
                 }
@@ -761,6 +1129,7 @@ impl SiteNode {
                     }
                 }
             }
+            self.schedule_retire(now, txn);
         }
         self.locks.release_all(&txn);
     }
@@ -784,6 +1153,15 @@ impl SiteNode {
         if st.decided.is_some() || st.termination_rounds >= self.cfg.max_termination_rounds {
             return;
         }
+        if let Some(parent) = st.spec.parent {
+            // A branch of a cross-shard transaction may not terminate
+            // in-shard: once prepared it could contradict the top-level
+            // decision (e.g. a PC quorum committing a branch the parent
+            // aborted). Outcome discovery replaces the election; the
+            // watchdog re-arms, so the ask retries until answered.
+            self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            return;
+        }
         let spec = Arc::clone(&st.spec);
         if st.elector.is_none() {
             st.elector = Some(Elector::new(self.cfg.site, spec.participants.clone()));
@@ -804,11 +1182,22 @@ impl SiteNode {
         spec: Arc<TxnSpec>,
         msg: ElectionMsg,
     ) {
+        // A retired transaction answers the election with its outcome
+        // instead of resurrecting state.
+        if let Some(r) = self.retired.get(&txn) {
+            let reply = Msg::Decided {
+                txn,
+                decision: r.decision,
+                commit_version: r.commit_version,
+            };
+            self.send_net(ctx, from, NetMsg::Proto(reply));
+            return;
+        }
         self.ensure_txn(ctx.now(), &spec);
         let st = self.txns.get_mut(&txn).expect("ensured");
         // A decided site answers elections with the outcome directly.
         if let Some(decision) = st.decided {
-            let commit_version = st.participant.commit_version();
+            let commit_version = st.commit_version();
             self.send_net(
                 ctx,
                 from,
@@ -891,11 +1280,13 @@ impl Process for SiteNode {
     type Timer = NodeTimer;
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, msg: NetMsg) {
+        self.sweep_retired(ctx.now());
         self.handle_net(ctx, from, msg);
         self.pump(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, _id: TimerId, timer: NodeTimer) {
+        self.sweep_retired(ctx.now());
         let catalog = Arc::clone(&self.catalog);
         match timer {
             NodeTimer::Proto(kind) => match kind {
@@ -938,6 +1329,18 @@ impl Process for SiteNode {
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                 }
                 TimerKind::CoordinatorWatch { txn } => self.on_watchdog(ctx, txn),
+                TimerKind::XVoteCollection { txn } => {
+                    let actions = self
+                        .xcoords
+                        .get_mut(&txn)
+                        .map(|x| x.on_vote_timer())
+                        .unwrap_or_default();
+                    let decided = !actions.is_empty();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                    if decided {
+                        self.schedule_retire(ctx.now(), txn);
+                    }
+                }
                 TimerKind::BlockedRetry { txn } => {
                     let undecided = self
                         .txns
@@ -985,6 +1388,12 @@ impl Process for SiteNode {
         // log records — the group-commit loss window).
         self.storage.crash();
         self.txns.clear();
+        self.xcoords.clear();
+        // Retired summaries are volatile too: the WAL still holds every
+        // record they were distilled from, so recovery rebuilds them.
+        self.retired.clear();
+        self.xretired.clear();
+        self.retire_queue.clear();
         self.reads.clear();
         self.locks = LockManager::new();
         self.local_queue.clear();
@@ -1050,6 +1459,7 @@ impl Process for SiteNode {
                     } else {
                         None
                     },
+                    decided_version: None,
                     blocked: false,
                     termination_rounds: 0,
                     started_at: ctx.now(),
@@ -1057,6 +1467,8 @@ impl Process for SiteNode {
             );
             if decided.is_none() {
                 self.arm_watchdog(ctx, txn);
+            } else {
+                self.schedule_retire(ctx.now(), txn);
             }
             // Coordinator-side recovery duties.
             let st = self.txns.get(&txn).expect("just inserted");
@@ -1066,6 +1478,7 @@ impl Process for SiteNode {
             let targets: Vec<SiteId> = st.spec.participants.iter().copied().collect();
             let is_participant = st.spec.participants.contains(&site);
             let protocol = st.spec.protocol;
+            let is_branch = st.spec.parent.is_some();
             let commit_version = st.participant.commit_version();
             match st.decided {
                 // Re-announce a decision that may never have left this
@@ -1088,9 +1501,13 @@ impl Process for SiteNode {
                 // never committed, so the recovering coordinator may
                 // (must, for liveness) abort it. The quorum protocols
                 // may NOT do this — their termination protocols can
-                // commit without the coordinator — so recovery there
-                // just rejoins as a participant.
-                None if protocol == ProtocolKind::TwoPhase => {
+                // commit without the coordinator — and neither may a
+                // *branch* of a cross-shard transaction under any
+                // protocol: its commit point lives at the parent, which
+                // may already have counted this shard's yes vote. A
+                // recovered branch rejoins and rediscovers the outcome
+                // (the watchdog armed above drives the asks).
+                None if protocol == ProtocolKind::TwoPhase && !is_branch => {
                     // Through the configured force policy, so recovery
                     // pays the same device costs as normal operation and
                     // the abort broadcasts below wait for the force.
@@ -1122,6 +1539,18 @@ impl Process for SiteNode {
                 None => {}
             }
         }
+        // Cross-shard coordinator recovery (after the participant pass,
+        // so self-addressed X-DECIDEs find the local branch state): an
+        // undecided XStart is presumed aborted — no durable XDecision
+        // proves no commit X-DECIDE ever left this site — and a decided
+        // one is re-announced to every branch coordinator.
+        let xrecovered = recover_xstate(self.storage.wal().replay().map(|(_, r)| r));
+        for (txn, rec) in xrecovered {
+            let (x, actions) = XTxnCoordinator::from_recovery(txn, &rec);
+            self.xcoords.insert(txn, x);
+            self.apply_actions(ctx, txn, self.cfg.site, actions);
+            self.schedule_retire(ctx.now(), txn);
+        }
         self.pump(ctx);
     }
 }
@@ -1130,7 +1559,8 @@ impl SiteNode {
     fn on_watchdog(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
         let now = ctx.now();
         let watchdog = self.cfg.watchdog_3t();
-        let (expired, actions) = match self.txns.get_mut(&txn) {
+        let site = self.cfg.site;
+        let (expired, actions, orphan_discovery) = match self.txns.get_mut(&txn) {
             None => return,
             Some(st) => {
                 st.watchdog_armed = false;
@@ -1138,13 +1568,25 @@ impl SiteNode {
                     return;
                 }
                 if now.since(st.last_coord_contact) >= watchdog {
-                    (true, st.participant.on_coordinator_silent())
+                    let actions = st.participant.on_coordinator_silent();
+                    // A held branch coordinator that holds no copies has
+                    // a participant still in `q` (which stays quiet):
+                    // it must still discover the cross-shard outcome.
+                    let discovery = if actions.is_empty() && st.spec.coordinator == site {
+                        st.spec.parent
+                    } else {
+                        None
+                    };
+                    (true, actions, discovery)
                 } else {
-                    (false, Vec::new())
+                    (false, Vec::new(), None)
                 }
             }
         };
         if expired {
+            if let Some(parent) = orphan_discovery {
+                self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            }
             self.apply_actions(ctx, txn, self.cfg.site, actions);
         }
         // Re-arm while undecided (drives the re-entrant retry loop).

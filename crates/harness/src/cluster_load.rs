@@ -20,8 +20,13 @@ pub struct ClusterLoadConfig {
     pub clients: u32,
     /// Transactions each client submits.
     pub txns_per_client: u32,
-    /// Items written per transaction (within one shard).
+    /// Items written per transaction (within one shard, or split across
+    /// two when the cross-shard coin lands).
     pub items_per_txn: u32,
+    /// Fraction of transactions whose writeset spans *two* shards
+    /// (routed through the cross-shard two-layer commit). Zero keeps
+    /// the single-shard-only workload.
+    pub xshard_fraction: f64,
     /// Ticks between one client's consecutive submissions.
     pub think_time: u64,
     /// RNG seed for writesets and shard choice.
@@ -41,6 +46,7 @@ impl Default for ClusterLoadConfig {
             clients: 8,
             txns_per_client: 4,
             items_per_txn: 2,
+            xshard_fraction: 0.0,
             think_time: 60,
             seed: 0,
         }
@@ -55,6 +61,8 @@ pub struct ClusterLoadReport {
     pub metrics: ClusterMetrics,
     /// Transactions submitted.
     pub submitted: u64,
+    /// Of those, writesets spanning two shards.
+    pub cross_shard: u64,
     /// Transactions committed.
     pub committed: u64,
     /// Transactions aborted.
@@ -86,16 +94,45 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
 
     let mut sessions: Vec<_> = (0..cfg.clients).map(|_| cluster.open_session()).collect();
     let mut last_submission = Time::ZERO;
+    let mut cross_shard = 0u64;
     for j in 0..cfg.txns_per_client {
         for (c, session) in sessions.iter_mut().enumerate() {
             // Stagger clients inside one think window so submissions
             // spread instead of arriving in lockstep.
             let jitter = (c as u64).wrapping_mul(7) % cfg.think_time.max(1);
             let at = Time(j as u64 * cfg.think_time + jitter);
-            let shard = *shards.choose(&mut rng).expect("at least one shard");
-            let mut items = cluster.map().items_of(shard);
-            items.shuffle(&mut rng);
-            items.truncate((cfg.items_per_txn as usize).max(1));
+            // Short-circuit before drawing: a zero fraction must leave
+            // the RNG stream — and so every pre-existing seeded
+            // workload — bit-identical.
+            let go_wide = cfg.xshard_fraction > 0.0
+                && shards.len() > 1
+                && rng.gen_bool(cfg.xshard_fraction.clamp(0.0, 1.0));
+            let mut items: Vec<ItemId>;
+            if go_wide {
+                // Split the writeset across two distinct shards.
+                cross_shard += 1;
+                let a = *shards.choose(&mut rng).expect("at least one shard");
+                let b = loop {
+                    let s = *shards.choose(&mut rng).expect("at least one shard");
+                    if s != a {
+                        break s;
+                    }
+                };
+                // Preserve the configured writeset size: ceil(n/2) items
+                // from the first shard, floor(n/2) from the second.
+                let n = (cfg.items_per_txn as usize).max(2);
+                items = Vec::new();
+                for (shard, take) in [(a, n.div_ceil(2)), (b, n / 2)] {
+                    let mut side = cluster.map().items_of(shard);
+                    side.shuffle(&mut rng);
+                    items.extend(side.into_iter().take(take));
+                }
+            } else {
+                let shard = *shards.choose(&mut rng).expect("at least one shard");
+                items = cluster.map().items_of(shard);
+                items.shuffle(&mut rng);
+                items.truncate((cfg.items_per_txn as usize).max(1));
+            }
             let ws = WriteSet::new(
                 items
                     .into_iter()
@@ -137,6 +174,7 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
     let elapsed = cluster.now();
     ClusterLoadReport {
         submitted,
+        cross_shard,
         committed,
         aborted,
         undecided,
@@ -172,6 +210,33 @@ mod tests {
             r.submitted
         );
         assert!(r.wal_forces > 0);
+    }
+
+    #[test]
+    fn mixed_cross_shard_load_commits_and_stays_consistent() {
+        let cfg = ClusterLoadConfig {
+            xshard_fraction: 0.4,
+            clients: 8,
+            txns_per_client: 5,
+            seed: 5,
+            ..Default::default()
+        };
+        let r = run_cluster_load(&cfg);
+        assert!(r.consistent);
+        assert_eq!(r.undecided, 0);
+        assert_eq!(r.submitted, 40);
+        assert!(
+            r.cross_shard >= 8,
+            "expected a real cross-shard share, got {}",
+            r.cross_shard
+        );
+        assert!(
+            r.committed >= r.submitted * 6 / 10,
+            "committed {}/{} (cross-shard {})",
+            r.committed,
+            r.submitted,
+            r.cross_shard
+        );
     }
 
     #[test]

@@ -22,14 +22,22 @@ fn main() {
     let mut cluster = SimCluster::new(cfg);
 
     // 2. Four sessions each submit six transactions, spread over time,
-    //    alternating shards. Nothing blocks: every submit returns a
+    //    alternating shards — every fourth one *spans both shards* (a
+    //    two-layer commit: the paper's quorum protocol per shard under
+    //    a top-level 2PC). Nothing blocks: every submit returns a
     //    handle immediately.
     let mut sessions: Vec<_> = (0..4).map(|_| cluster.open_session()).collect();
     for k in 0..24u64 {
         let shard = ShardId((k % 2) as u32);
         let items = cluster.map().items_of(shard);
         let item = items[(k as usize / 2) % items.len()];
-        let ws = WriteSet::new([(item, 1_000 + k as i64)]);
+        let ws = if k % 4 == 3 {
+            let other = cluster.map().items_of(ShardId(((k + 1) % 2) as u32));
+            let far = other[(k as usize / 2 + 5) % other.len()];
+            WriteSet::new([(item, 1_000 + k as i64), (far, 2_000 + k as i64)])
+        } else {
+            WriteSet::new([(item, 1_000 + k as i64)])
+        };
         let s = (k as usize) % sessions.len();
         cluster.submit(&mut sessions[s], Time(k * 15), ws);
     }
