@@ -1,0 +1,304 @@
+//! E15 — group-commit batching on a real fsync device.
+//!
+//! E13 showed the group-commit win on a *modeled* log device (virtual
+//! time, `force_latency` ticks); this experiment re-measures it where
+//! the cost is real: `qbc_storage::FileWal` forces are `fdatasync`
+//! calls on actual segment files. Three sections:
+//!
+//! 1. **Device probe** — the raw latency of appending and syncing one
+//!    small block, i.e. the price every WAL force pays. All other
+//!    numbers are interpreted relative to this.
+//! 2. **FileWal batching** — identical record streams forced one
+//!    record per fsync vs batches of 8 and 64: records/sec and total
+//!    forces. The per-flush (not per-record) cost structure the
+//!    in-memory model *assumes* is demonstrated on hardware here.
+//! 3. **Durable cluster** — a small `ThreadedCluster` running entirely
+//!    on file-backed WALs (every site an OS thread, every force an
+//!    fsync), per-record forcing vs group commit: committed
+//!    transactions and forces paid.
+//!
+//! Output: a human table plus `BENCH_e15.json` (the `--smoke` mode
+//! writes `BENCH_e15_smoke.json` so CI can never clobber committed
+//! full-run numbers). `--assert-speedup` additionally asserts the
+//! batching ratio (machine-dependent; meaningful only where a baseline
+//! was recorded). Force-count assertions always run: batching must
+//! reduce fsyncs regardless of hardware.
+
+use qbc_cluster::{ClusterConfig, ThreadedCluster};
+use qbc_core::{LogRecord, ProtocolKind, TxnId, TxnSpec, WriteSet};
+use qbc_simnet::Duration;
+use qbc_storage::{FileWal, FileWalConfig, TempDir, WalBackend};
+use qbc_votes::ItemId;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A realistic record stream: the Voted/Decided pair every committing
+/// participant forces, with a two-item spec.
+fn record(k: u64) -> LogRecord {
+    if k.is_multiple_of(2) {
+        let spec = Arc::new(TxnSpec {
+            id: TxnId(k / 2),
+            coordinator: qbc_simnet::SiteId(0),
+            writeset: WriteSet::new([
+                (ItemId((k % 8) as u32), k as i64),
+                (ItemId((k % 8) as u32 + 8), -(k as i64)),
+            ]),
+            participants: [0, 1, 2].map(qbc_simnet::SiteId).into_iter().collect(),
+            protocol: ProtocolKind::QuorumCommit2,
+            parent: None,
+        });
+        LogRecord::Voted { spec }
+    } else {
+        LogRecord::Decided {
+            txn: TxnId(k / 2),
+            decision: qbc_core::Decision::Commit,
+            commit_version: Some(qbc_votes::Version(k)),
+        }
+    }
+}
+
+struct DeviceProbe {
+    syncs: u64,
+    mean_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+/// Appends and fdatasyncs `n` small blocks: the raw per-force price.
+fn probe_device(n: u64) -> DeviceProbe {
+    let dir = TempDir::new("e15-probe");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.path().join("probe"))
+        .expect("open probe file");
+    let block = [0x5Au8; 256];
+    let mut lat = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let t = Instant::now();
+        file.write_all(&block).expect("write");
+        file.sync_data().expect("fsync");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let sum: f64 = lat.iter().sum();
+    DeviceProbe {
+        syncs: n,
+        mean_us: sum / n as f64,
+        min_us: lat.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_us: lat.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+struct WalRun {
+    batch: usize,
+    records: u64,
+    forces: u64,
+    seconds: f64,
+    records_per_sec: f64,
+}
+
+/// Forces `total` records through a fresh FileWal in batches of
+/// `batch` (1 = the per-record policy).
+fn run_filewal(total: u64, batch: usize) -> WalRun {
+    let dir = TempDir::new("e15-wal");
+    let mut wal: FileWal<LogRecord> =
+        FileWal::open(FileWalConfig::new(dir.path())).expect("open wal");
+    let t = Instant::now();
+    let mut k = 0u64;
+    while k < total {
+        for _ in 0..batch.min((total - k) as usize) {
+            wal.buffer(record(k));
+            k += 1;
+        }
+        wal.force();
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    WalRun {
+        batch,
+        records: total,
+        forces: wal.forces(),
+        seconds,
+        records_per_sec: total as f64 / seconds,
+    }
+}
+
+struct ClusterRun {
+    mode: &'static str,
+    submitted: u64,
+    committed: u64,
+    undecided: u64,
+    forces: u64,
+    seconds: f64,
+    committed_per_sec: f64,
+}
+
+/// A durable threaded cluster (2 shards × 3 sites, every WAL a real
+/// file log with fsync): submit `txns` single-shard writesets (paced —
+/// no-wait 2PL aborts everything under a zero-think-time flood), wait,
+/// harvest.
+fn run_cluster(txns: u64, group_commit: bool, pace_ms: u64, settle_ms: u64) -> ClusterRun {
+    let dir = TempDir::new("e15-cluster");
+    let mut cfg = ClusterConfig {
+        t_bound: Duration(20), // ticks are ms on the threaded transport
+        seed: 15,
+        ..ClusterConfig::default()
+    }
+    .with_wal_dir(dir.path());
+    if group_commit {
+        cfg = cfg.with_group_commit();
+    }
+    let t = Instant::now();
+    let mut cluster = ThreadedCluster::spawn(cfg, 1);
+    for k in 0..txns {
+        // Walk the whole item space (items 0-7 live in shard 0, 8-15 in
+        // shard 1): consecutive submissions never collide, and a paced
+        // stream keeps in-flight contention low.
+        let item = ItemId((k % 16) as u32);
+        cluster.submit(WriteSet::new([(item, k as i64)]));
+        std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(settle_ms));
+    let report = cluster.shutdown();
+    let seconds = t.elapsed().as_secs_f64();
+    assert_eq!(
+        report.atomicity_violations,
+        vec![],
+        "durable cluster went inconsistent"
+    );
+    let m = &report.metrics;
+    ClusterRun {
+        mode: if group_commit {
+            "group-commit"
+        } else {
+            "per-record"
+        },
+        submitted: txns,
+        committed: m.total_committed(),
+        undecided: m.total_undecided(),
+        forces: m.shards.iter().map(|s| s.wal_forces).sum(),
+        seconds,
+        committed_per_sec: m.total_committed() as f64 / seconds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let assert_speedup = args.iter().any(|a| a == "--assert-speedup");
+
+    println!("E15 — group-commit batching on a real fsync device\n");
+
+    // 1. Device probe.
+    let probe = probe_device(if smoke { 50 } else { 200 });
+    println!(
+        "device: {} appends+fdatasyncs, mean {:.1} us (min {:.1}, max {:.1})\n",
+        probe.syncs, probe.mean_us, probe.min_us, probe.max_us
+    );
+
+    // 2. FileWal batching.
+    let total = if smoke { 256 } else { 2048 };
+    let runs: Vec<WalRun> = [1usize, 8, 64]
+        .iter()
+        .map(|&b| run_filewal(total, b))
+        .collect();
+    println!("FileWal, {total} records per policy (fsync on):");
+    println!(
+        "{:>6} {:>9} {:>8} {:>9} {:>12}",
+        "batch", "records", "forces", "seconds", "records/s"
+    );
+    for r in &runs {
+        println!(
+            "{:>6} {:>9} {:>8} {:>9.3} {:>12.0}",
+            r.batch, r.records, r.forces, r.seconds, r.records_per_sec
+        );
+    }
+    let speedup = runs[2].records_per_sec / runs[0].records_per_sec;
+    println!("batching speedup (64 vs 1): x{speedup:.2}\n");
+    // Hardware-independent shape: batching must slash the fsync count.
+    assert!(
+        runs[2].forces * 8 <= runs[0].forces,
+        "batch-64 must pay at most 1/8th the forces of per-record"
+    );
+    for r in &runs {
+        assert!(r.records_per_sec > 0.0);
+    }
+
+    // 3. Durable threaded cluster.
+    let (txns, pace, settle) = if smoke { (12, 5, 900) } else { (48, 15, 1500) };
+    let plain = run_cluster(txns, false, pace, settle);
+    let batched = run_cluster(txns, true, pace, settle);
+    println!("durable ThreadedCluster (2x3 sites, file WALs, fsync on), {txns} txns:");
+    println!(
+        "{:>14} {:>9} {:>9} {:>9} {:>8} {:>9} {:>12}",
+        "force policy", "submitted", "committed", "undecided", "forces", "seconds", "committed/s"
+    );
+    for r in [&plain, &batched] {
+        println!(
+            "{:>14} {:>9} {:>9} {:>9} {:>8} {:>9.2} {:>12.1}",
+            r.mode, r.submitted, r.committed, r.undecided, r.forces, r.seconds, r.committed_per_sec
+        );
+    }
+    assert!(plain.committed > 0 && batched.committed > 0);
+    assert!(
+        batched.forces < plain.forces,
+        "group commit must pay fewer fsyncs ({} vs {})",
+        batched.forces,
+        plain.forces
+    );
+    println!(
+        "force reduction: {} -> {} ({:.1} records/force batched)\n",
+        plain.forces,
+        batched.forces,
+        (batched.committed as f64 * 4.0).max(1.0) / batched.forces as f64
+    );
+
+    if assert_speedup {
+        assert!(
+            speedup >= 1.5,
+            "batch-64 should be >=1.5x per-record on a real device, got x{speedup:.2}"
+        );
+    }
+
+    // JSON artifact.
+    let mut json = String::from("{\n  \"bench\": \"e15_file_wal\",\n");
+    let _ = writeln!(
+        json,
+        "  \"device\": {{\"syncs\": {}, \"mean_us\": {:.2}, \"min_us\": {:.2}, \"max_us\": {:.2}}},",
+        probe.syncs, probe.mean_us, probe.min_us, probe.max_us
+    );
+    json.push_str("  \"filewal\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"batch\": {}, \"records\": {}, \"forces\": {}, \"seconds\": {:.4}, \"records_per_sec\": {:.0}}}",
+            r.batch, r.records, r.forces, r.seconds, r.records_per_sec
+        );
+    }
+    json.push_str("\n  ],\n  \"cluster\": [\n");
+    for (i, r) in [&plain, &batched].iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"submitted\": {}, \"committed\": {}, \"undecided\": {}, \"forces\": {}, \"seconds\": {:.3}, \"committed_per_sec\": {:.1}}}",
+            r.mode, r.submitted, r.committed, r.undecided, r.forces, r.seconds, r.committed_per_sec
+        );
+    }
+    let _ = writeln!(
+        json,
+        "\n  ],\n  \"batching_speedup_64v1\": {speedup:.3}\n}}"
+    );
+    let out = if smoke {
+        "BENCH_e15_smoke.json"
+    } else {
+        "BENCH_e15.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -2,6 +2,7 @@
 
 use qbc_core::ProtocolKind;
 use qbc_simnet::Duration;
+use std::path::PathBuf;
 
 /// Shape and tuning of a sharded cluster.
 #[derive(Clone, Debug)]
@@ -42,6 +43,29 @@ pub struct ClusterConfig {
     /// after the decision (see [`qbc_db::NodeConfig::retire_after`]).
     /// `None` (the default) keeps every entry forever.
     pub retire_after: Option<Duration>,
+    /// Root directory for file-backed WALs: site `k` logs to
+    /// `<wal_dir>/site-<k>`. `None` (the default) keeps the
+    /// deterministic in-memory backend at every site. Reopening an
+    /// existing root recovers the existing logs: each node replays its
+    /// retained records on startup, before serving anything (the
+    /// crash/restart tests rebuild whole clusters this way). Caveat:
+    /// the *front-end's* transaction-id counter restarts at 1, so a
+    /// restarted cluster answers recovered history correctly but must
+    /// not be given new submissions over the same directory yet (see
+    /// ROADMAP: durable transaction-id allocation).
+    pub wal_dir: Option<PathBuf>,
+    /// Segment roll threshold for file-backed WALs, in bytes.
+    pub wal_segment_bytes: u64,
+    /// `fsync` every file-WAL force (see
+    /// [`qbc_db::WalBackendConfig::File`]). Benchmarks measuring the
+    /// real device keep this on; logical crash/restart tests turn it
+    /// off for speed.
+    pub wal_fsync: bool,
+    /// Per-site checkpoint + log-truncation period (see
+    /// [`qbc_db::NodeConfig::checkpoint_interval`]); pair with
+    /// [`ClusterConfig::retire_after`], since live transactions pin
+    /// the log. `None` (the default) never truncates.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +85,10 @@ impl Default for ClusterConfig {
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
             retire_after: None,
+            wal_dir: None,
+            wal_segment_bytes: 4 << 20,
+            wal_fsync: true,
+            checkpoint_interval: None,
         }
     }
 }
@@ -91,6 +119,20 @@ impl ClusterConfig {
     /// Sets the decided-state retention window (builder style).
     pub fn with_retirement(mut self, after: Duration) -> Self {
         self.retire_after = Some(after);
+        self
+    }
+
+    /// Runs every site on a file-backed WAL under `root` (builder
+    /// style).
+    pub fn with_wal_dir(mut self, root: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(root.into());
+        self
+    }
+
+    /// Enables periodic checkpointing + log truncation at every site
+    /// (builder style).
+    pub fn with_checkpoints(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = Some(interval);
         self
     }
 

@@ -26,6 +26,14 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, S
             nc.group_commit_max_batch = cfg.group_commit_max_batch;
             nc.force_latency = cfg.force_latency;
             nc.retire_after = cfg.retire_after;
+            nc.checkpoint_interval = cfg.checkpoint_interval;
+            if let Some(root) = &cfg.wal_dir {
+                nc.wal_backend = qbc_db::WalBackendConfig::File {
+                    dir: root.join(format!("site-{}", site.0)),
+                    segment_bytes: cfg.wal_segment_bytes,
+                    fsync: cfg.wal_fsync,
+                };
+            }
             if cfg.protocol == ProtocolKind::SkeenQuorum {
                 let q = cfg.sites_per_shard / 2 + 1;
                 nc = nc.with_site_votes(SiteVotes::uniform(sites.iter().copied(), q, q));
@@ -126,7 +134,10 @@ pub(crate) fn harvest(
         for site in map.sites_iter(ShardId(i as u32)) {
             if let Some(node) = nodes.get(&site) {
                 m.wal_forces += node.wal_forces();
-                m.wal_records += node.wal_len() as u64;
+                // Cumulative, not retained: checkpoint truncation frees
+                // log prefixes, and a shrinking denominator would turn
+                // records_per_force into nonsense.
+                m.wal_records += node.wal_appended();
                 let backlog = node.wal_backlog(now);
                 if backlog > m.wal_backlog {
                     m.wal_backlog = backlog;

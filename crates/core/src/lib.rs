@@ -33,11 +33,15 @@ pub mod rules;
 mod states;
 mod termination;
 mod types;
+mod wal_codec;
 mod xshard;
 
 pub use actions::{Action, TimerKind};
 pub use coordinator::{CoordPhase, Coordinator};
-pub use log::{recover_state, recover_xstate, LogRecord, RecoveredTxn, RecoveredXTxn};
+pub use log::{
+    last_checkpoint, recover_state, recover_xstate, LogRecord, RecoveredTxn, RecoveredXTxn,
+    RetiredOutcome, XRetiredOutcome,
+};
 pub use messages::Msg;
 pub use participant::{FaultyMode, Participant, ParticipantConfig};
 pub use rules::{Phase2Outcome, StateView, TerminationKind};

@@ -80,21 +80,97 @@ pub enum LogRecord {
         /// in [`LogRecord::XStart`] branch order.
         branch_versions: Vec<(qbc_simnet::SiteId, Option<Version>)>,
     },
+    /// A checkpoint: the compact outcomes of every *retired*
+    /// transaction and cross-shard coordination, plus a snapshot of the
+    /// site's versioned item copies, re-logged in one record so the
+    /// per-transaction records they were distilled from become dead
+    /// weight. Once this record is forced, the log prefix below it (and
+    /// below every live transaction's first record) can be truncated;
+    /// recovery installs the snapshot and replays only the suffix
+    /// instead of the full history. This is what bounds stable storage
+    /// the way retirement bounds the in-memory tables.
+    Checkpoint {
+        /// Outcomes of retired single-shard transactions.
+        retired: Vec<RetiredOutcome>,
+        /// Outcomes of retired cross-shard coordinations hosted here.
+        xretired: Vec<XRetiredOutcome>,
+        /// `(item, version, value)` of every local copy as of the
+        /// checkpoint — the durable home of updates whose commit
+        /// records are about to be truncated.
+        items: Vec<(qbc_votes::ItemId, Version, i64)>,
+    },
+}
+
+/// The compact outcome of one retired transaction, as carried by
+/// [`LogRecord::Checkpoint`]: everything a straggler's question can
+/// still need after the per-record history is truncated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetiredOutcome {
+    /// Transaction.
+    pub txn: TxnId,
+    /// Its irrevocable outcome.
+    pub decision: Decision,
+    /// Version installed when committing.
+    pub commit_version: Option<Version>,
+}
+
+/// The compact outcome of one retired *cross-shard* coordination, as
+/// carried by [`LogRecord::Checkpoint`]: per-branch membership and
+/// commit versions, enough to keep answering `X-OUTCOME-REQ` from late
+/// orphans.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct XRetiredOutcome {
+    /// Cross-shard transaction.
+    pub txn: TxnId,
+    /// The top-level outcome.
+    pub decision: Decision,
+    /// `(branch coordinator, branch participants, in-shard commit
+    /// version)` per branch.
+    pub branches: Vec<(qbc_simnet::SiteId, Vec<qbc_simnet::SiteId>, Option<Version>)>,
 }
 
 impl LogRecord {
-    /// The transaction this record belongs to.
-    pub fn txn(&self) -> TxnId {
+    /// The transaction this record belongs to; `None` for
+    /// [`LogRecord::Checkpoint`], which spans many.
+    pub fn txn(&self) -> Option<TxnId> {
         match self {
-            LogRecord::CoordinatorStart { spec } | LogRecord::Voted { spec } => spec.id,
+            LogRecord::CoordinatorStart { spec } | LogRecord::Voted { spec } => Some(spec.id),
             LogRecord::VotedNo { txn }
             | LogRecord::PreCommit { txn, .. }
             | LogRecord::PreAbort { txn }
             | LogRecord::Decided { txn, .. }
             | LogRecord::XStart { txn, .. }
-            | LogRecord::XDecision { txn, .. } => *txn,
+            | LogRecord::XDecision { txn, .. } => Some(*txn),
+            LogRecord::Checkpoint { .. } => None,
         }
     }
+}
+
+/// The most recent [`LogRecord::Checkpoint`] in a replay, if any: the
+/// retired outcomes and item snapshot a recovering site must
+/// re-install before replaying the per-transaction suffix (their own
+/// records may be truncated). Returns
+/// `(retired, xretired, item snapshot)`.
+#[allow(clippy::type_complexity)]
+pub fn last_checkpoint<'a>(
+    records: impl IntoIterator<Item = &'a LogRecord>,
+) -> Option<(
+    &'a [RetiredOutcome],
+    &'a [XRetiredOutcome],
+    &'a [(qbc_votes::ItemId, Version, i64)],
+)> {
+    let mut found = None;
+    for rec in records {
+        if let LogRecord::Checkpoint {
+            retired,
+            xretired,
+            items,
+        } = rec
+        {
+            found = Some((retired.as_slice(), xretired.as_slice(), items.as_slice()));
+        }
+    }
+    found
 }
 
 /// The durable state of one transaction reconstructed from the log.
@@ -120,12 +196,14 @@ pub fn recover_state<'a>(
         std::collections::BTreeMap::new();
     for rec in records {
         // Cross-shard coordinator records describe the top-level 2PC
-        // role, not this site's participant state: recovered separately
-        // by [`recover_xstate`].
+        // role, not this site's participant state (recovered separately
+        // by [`recover_xstate`]); checkpoints span many transactions
+        // (recovered by [`last_checkpoint`]).
+        let Some(txn) = rec.txn() else { continue };
         if matches!(rec, LogRecord::XStart { .. } | LogRecord::XDecision { .. }) {
             continue;
         }
-        let entry = out.entry(rec.txn()).or_insert(RecoveredTxn {
+        let entry = out.entry(txn).or_insert(RecoveredTxn {
             spec: None,
             state: LocalState::Initial,
             commit_version: None,
@@ -170,7 +248,11 @@ pub fn recover_state<'a>(
                     entry.commit_version = *commit_version;
                 }
             }
-            LogRecord::XStart { .. } | LogRecord::XDecision { .. } => unreachable!("skipped above"),
+            LogRecord::XStart { .. }
+            | LogRecord::XDecision { .. }
+            | LogRecord::Checkpoint { .. } => {
+                unreachable!("skipped above")
+            }
         }
     }
     out

@@ -4,6 +4,33 @@ use qbc_core::{FaultyMode, ProtocolKind, SiteVotes, TxnId};
 use qbc_simnet::{Duration, SiteId};
 use qbc_votes::Catalog;
 use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Which WAL implementation a site runs on.
+///
+/// The deterministic simulator keeps the in-memory model (same
+/// durability contract, zero I/O, bit-reproducible schedules); durable
+/// deployments — and the crash/restart tests — pick the file-backed
+/// log, whose force is a real `fsync`. See `docs/wal-format.md` for
+/// the on-disk format.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum WalBackendConfig {
+    /// In-memory durability model (`qbc_storage::Wal`): the default,
+    /// and the seed behaviour.
+    #[default]
+    Memory,
+    /// File-backed log (`qbc_storage::FileWal`) rooted at `dir`.
+    File {
+        /// Directory for this site's segment files (created if absent;
+        /// reopening a non-empty directory recovers the existing log).
+        dir: PathBuf,
+        /// Segment roll threshold in bytes.
+        segment_bytes: u64,
+        /// `fsync` every force. Disable only in tests that crash
+        /// processes logically, never the machine.
+        fsync: bool,
+    },
+}
 
 /// Static configuration of one database site.
 #[derive(Clone, Debug)]
@@ -59,6 +86,17 @@ pub struct NodeConfig {
     /// stragglers still get their answer. `None` (the default) keeps
     /// every entry forever (the seed behaviour).
     pub retire_after: Option<Duration>,
+    /// Which WAL backend this site's stable storage runs on.
+    pub wal_backend: WalBackendConfig,
+    /// Write a [`qbc_core::LogRecord::Checkpoint`] (and truncate the
+    /// dead log prefix) roughly this often, measured from the first
+    /// record after the previous checkpoint. Bounds stable storage the
+    /// way [`NodeConfig::retire_after`] bounds the in-memory tables —
+    /// and only pays off combined with it: every *live* (unretired)
+    /// transaction pins the log from its first record onward. `None`
+    /// (the default) never checkpoints (the seed behaviour: the log
+    /// grows forever).
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl NodeConfig {
@@ -79,7 +117,27 @@ impl NodeConfig {
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
             retire_after: None,
+            wal_backend: WalBackendConfig::Memory,
+            checkpoint_interval: None,
         }
+    }
+
+    /// Selects the file-backed WAL rooted at `dir` (4 MiB segments,
+    /// fsync on; set [`NodeConfig::wal_backend`] directly for other
+    /// shapes).
+    pub fn with_file_wal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_backend = WalBackendConfig::File {
+            dir: dir.into(),
+            segment_bytes: 4 << 20,
+            fsync: true,
+        };
+        self
+    }
+
+    /// Enables periodic checkpointing + log truncation (builder style).
+    pub fn with_checkpoints(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
     }
 
     /// Enables group-commit batching of WAL forces.

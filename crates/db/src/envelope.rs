@@ -105,6 +105,11 @@ pub enum NodeTimer {
         /// Id of the completed force batch.
         batch: u64,
     },
+    /// The periodic checkpoint tick
+    /// ([`crate::NodeConfig::checkpoint_interval`]): write a
+    /// [`qbc_core::LogRecord::Checkpoint`] if the log grew, then
+    /// truncate the dead prefix.
+    Checkpoint,
 }
 
 #[cfg(test)]

@@ -28,6 +28,6 @@ mod config;
 mod envelope;
 mod node;
 
-pub use config::NodeConfig;
+pub use config::{NodeConfig, WalBackendConfig};
 pub use envelope::{NetMsg, NodeTimer};
 pub use node::{build_cluster, ReadResult, SiteNode, Violation};

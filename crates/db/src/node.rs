@@ -23,20 +23,24 @@
 //! * **quorum reads** — `r(x)` votes collected over live, unlocked
 //!   copies, returning the max-version value (Gifford's currency rule).
 
-use crate::config::NodeConfig;
+use crate::config::{NodeConfig, WalBackendConfig};
 use crate::envelope::{NetMsg, NodeTimer};
 use qbc_core::{
-    recover_state, recover_xstate, Action, Coordinator, Decision, LocalState, LogRecord, Msg,
-    Participant, ParticipantConfig, ProtocolKind, Termination, TimerKind, Transition, TxnId,
-    TxnSpec, WriteSet, XTxnCoordinator,
+    last_checkpoint, recover_state, recover_xstate, Action, Coordinator, Decision, LocalState,
+    LogRecord, Msg, Participant, ParticipantConfig, ProtocolKind, RetiredOutcome, Termination,
+    TimerKind, Transition, TxnId, TxnSpec, WriteSet, XRetiredOutcome, XTxnCoordinator,
 };
 use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
 use qbc_locks::{LockManager, LockMode, LockOutcome};
 use qbc_simnet::{Ctx, Process, SiteId, Time, TimerId};
-use qbc_storage::SiteStorage;
+use qbc_storage::{EitherWal, FileWal, FileWalConfig, Lsn, SiteStorage, Wal, WalBackend};
 use qbc_votes::{Catalog, FastMap, ItemId, Version};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// The WAL backend a site node runs on: in-memory for the simulator,
+/// file-backed for durable runs (see [`WalBackendConfig`]).
+pub type NodeWal = EitherWal<LogRecord>;
 
 /// Outcome of a quorum read.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -159,13 +163,19 @@ enum DeferredOp {
         decision: Decision,
         commit_version: Option<Version>,
     },
+    /// Truncate the log prefix below `cutoff` — queued behind the force
+    /// that makes its justifying checkpoint record durable (truncating
+    /// before the checkpoint survives a crash would lose history).
+    Truncate {
+        cutoff: Lsn,
+    },
 }
 
 /// One full database site.
 pub struct SiteNode {
     cfg: NodeConfig,
     catalog: Arc<Catalog>,
-    storage: SiteStorage<LogRecord, i64>,
+    storage: SiteStorage<LogRecord, i64, NodeWal>,
     locks: LockManager<ItemId, TxnId>,
     /// Per-transaction state. A (deterministic) hash map: the table
     /// grows with every transaction the site ever hosted and sits on
@@ -199,13 +209,53 @@ pub struct SiteNode {
     /// Emptied deferred-op buffers kept for reuse, so the steady-state
     /// group-commit cycle (defer → force → run) allocates nothing.
     spare_deferred: Vec<Vec<DeferredOp>>,
+    /// First log record of every *live* transaction — the LSNs a
+    /// checkpoint's truncation cutoff must stay below. Entries are
+    /// dropped at retirement (the checkpoint record then carries the
+    /// outcome instead).
+    first_lsn: FastMap<TxnId, Lsn>,
+    /// Whether a [`NodeTimer::Checkpoint`] tick is outstanding (armed
+    /// lazily by the first record after a quiet period, so an idle site
+    /// quiesces instead of ticking forever).
+    checkpoint_armed: bool,
+    /// Log end as of the last checkpoint (including the checkpoint
+    /// record itself); no new checkpoint until the log outgrows it.
+    last_checkpoint_end: Lsn,
 }
 
 impl SiteNode {
     /// Builds a site and loads the initial value of every local copy.
+    ///
+    /// With a file-backed WAL ([`WalBackendConfig::File`]) the log
+    /// directory is opened, recovering any existing segments; a node
+    /// whose reopened log is non-empty then replays it automatically
+    /// in `on_start` (both substrates invoke it before delivering
+    /// anything), so restarting over an existing directory needs no
+    /// manual recovery scheduling.
+    ///
+    /// # Panics
+    /// When the file-backed log cannot be opened (I/O error or non-tail
+    /// corruption): a site without its log has no safe way to run.
     pub fn new(cfg: NodeConfig, initial_values: impl Fn(ItemId) -> i64) -> Self {
         let catalog = Arc::new(cfg.catalog.clone());
-        let mut storage = SiteStorage::new();
+        let wal = match &cfg.wal_backend {
+            WalBackendConfig::Memory => EitherWal::Mem(Wal::new()),
+            WalBackendConfig::File {
+                dir,
+                segment_bytes,
+                fsync,
+            } => {
+                let mut fw_cfg = FileWalConfig::new(dir.clone()).with_segment_bytes(*segment_bytes);
+                if !fsync {
+                    fw_cfg = fw_cfg.without_fsync();
+                }
+                EitherWal::File(
+                    FileWal::open(fw_cfg)
+                        .unwrap_or_else(|e| panic!("open WAL at {}: {e}", dir.display())),
+                )
+            }
+        };
+        let mut storage = SiteStorage::with_wal(wal);
         for item in catalog.items_at(cfg.site) {
             storage.initialize_item(item, initial_values(item));
         }
@@ -228,6 +278,9 @@ impl SiteNode {
             next_force_batch: 0,
             flush_timer: None,
             spare_deferred: Vec::new(),
+            first_lsn: FastMap::default(),
+            checkpoint_armed: false,
+            last_checkpoint_end: Lsn(0),
         }
     }
 
@@ -349,9 +402,20 @@ impl SiteNode {
         self.storage.wal_forces()
     }
 
-    /// Number of durable WAL records at this site.
+    /// Number of *retained* durable WAL records at this site
+    /// (checkpoint truncation shrinks this; see
+    /// [`SiteNode::wal_appended`] for the cumulative count).
     pub fn wal_len(&self) -> usize {
         self.storage.wal().len()
+    }
+
+    /// Number of records ever made durable at this site — the durable
+    /// end LSN, which truncation never moves. This is the denominator
+    /// of batching metrics (`records / forces`), so it must not shrink
+    /// when checkpoints free the prefix.
+    pub fn wal_appended(&self) -> u64 {
+        let wal = self.storage.wal();
+        wal.start_lsn().0 + wal.len() as u64
     }
 
     /// Outstanding work on the serial log device as of `now`: how long a
@@ -359,6 +423,18 @@ impl SiteNode {
     /// device is idle.
     pub fn wal_backlog(&self, now: Time) -> qbc_simnet::Duration {
         self.wal_free_at.since(now)
+    }
+
+    /// Bytes of stable storage the WAL currently occupies (0 on the
+    /// in-memory backend) — the quantity checkpoint truncation bounds.
+    pub fn wal_storage_bytes(&self) -> u64 {
+        self.storage.wal().storage_bytes()
+    }
+
+    /// LSN of the oldest retained WAL record: 0 until the first
+    /// checkpoint truncation, then climbing as prefixes are freed.
+    pub fn wal_start_lsn(&self) -> Lsn {
+        self.storage.wal().start_lsn()
     }
 
     // ---- client entry points -------------------------------------------
@@ -585,6 +661,9 @@ impl SiteNode {
                     decision,
                     commit_version,
                 } => self.apply_decision(ctx.now(), txn, decision, commit_version),
+                DeferredOp::Truncate { cutoff } => {
+                    self.storage.truncate_log_before(cutoff);
+                }
             }
         }
         if ops.capacity() > 0 && self.spare_deferred.len() < 4 {
@@ -594,23 +673,129 @@ impl SiteNode {
 
     /// Records one engine log action under the configured force policy.
     fn log_record(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, rec: LogRecord) {
-        if self.cfg.group_commit {
-            self.storage.log_buffered(rec);
+        let txn = rec.txn();
+        let lsn = if self.cfg.group_commit {
+            let lsn = self.storage.log_buffered(rec);
             if self.storage.wal().pending_len() >= self.cfg.group_commit_max_batch {
                 self.flush_wal(ctx);
             } else if self.flush_timer.is_none() {
                 self.flush_timer =
                     Some(ctx.set_timer(self.cfg.group_commit_window, NodeTimer::FlushWal));
             }
+            lsn
         } else if self.cfg.force_latency.0 > 0 {
             // Per-record forcing on a slow device: durable now, but the
             // completion (and everything gated on it) costs device time.
-            self.storage.log_buffered(rec);
+            let lsn = self.storage.log_buffered(rec);
             self.flush_wal(ctx);
+            lsn
         } else {
             // Seed model: instant force per record.
-            self.storage.log(rec);
+            self.storage.log(rec)
+        };
+        // Track the live transaction's earliest record: the truncation
+        // cutoff must never pass it. (`None`: the record is itself a
+        // checkpoint.) Only the checkpointer reads this map, so the
+        // common no-checkpoint configuration pays nothing on the
+        // logging hot path.
+        if self.cfg.checkpoint_interval.is_some() {
+            if let Some(txn) = txn {
+                self.first_lsn.entry(txn).or_insert(lsn);
+            }
+            self.arm_checkpoint(ctx);
         }
+    }
+
+    /// Arms the periodic checkpoint tick if configured and not already
+    /// outstanding. Lazy (armed by record arrival, not free-running) so
+    /// an idle site quiesces.
+    fn arm_checkpoint(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        if let Some(interval) = self.cfg.checkpoint_interval {
+            if !self.checkpoint_armed {
+                self.checkpoint_armed = true;
+                ctx.set_timer(interval, NodeTimer::Checkpoint);
+            }
+        }
+    }
+
+    /// The checkpoint tick: if the log grew since the last checkpoint,
+    /// force a [`LogRecord::Checkpoint`] carrying every retired outcome
+    /// and truncate the prefix no live transaction (and no recovery)
+    /// needs any more. Under group commit the truncation waits behind
+    /// the force that makes the checkpoint durable, like every other
+    /// effect that depends on a staged record.
+    fn on_checkpoint_tick(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        self.checkpoint_armed = false;
+        if self.cfg.checkpoint_interval.is_none()
+            || self.storage.wal().next_lsn() <= self.last_checkpoint_end
+        {
+            // Nothing new since the last checkpoint: stay quiet until
+            // the next record re-arms the tick.
+            return;
+        }
+        // Compact outcomes, sorted for a canonical on-disk encoding.
+        let mut retired: Vec<RetiredOutcome> = self
+            .retired
+            .iter()
+            .map(|(&txn, r)| RetiredOutcome {
+                txn,
+                decision: r.decision,
+                commit_version: r.commit_version,
+            })
+            .collect();
+        retired.sort_unstable_by_key(|r| r.txn);
+        let mut xretired: Vec<XRetiredOutcome> = self
+            .xretired
+            .iter()
+            .map(|(&txn, x)| XRetiredOutcome {
+                txn,
+                decision: x.decision,
+                branches: x
+                    .branches
+                    .iter()
+                    .map(|(c, p, v)| (*c, p.iter().copied().collect(), *v))
+                    .collect(),
+            })
+            .collect();
+        xretired.sort_unstable_by_key(|x| x.txn);
+        // Snapshot the versioned copies: committed values whose records
+        // are truncated survive only here (the durable page store of a
+        // real site, folded into the log).
+        let item_ids: Vec<ItemId> = self.storage.items().collect();
+        let items: Vec<(ItemId, Version, i64)> = item_ids
+            .into_iter()
+            .filter_map(|i| self.storage.read_item(i).map(|(v, val)| (i, v, *val)))
+            .collect();
+        // Everything below the oldest live transaction's first record
+        // AND below this checkpoint is dead: retired outcomes live in
+        // the checkpoint now, decided-but-unretired transactions still
+        // have their Decided record above their first_lsn.
+        let checkpoint_lsn = self.storage.wal().next_lsn();
+        let live_min = self
+            .txns
+            .keys()
+            .chain(self.xcoords.keys())
+            .filter_map(|t| self.first_lsn.get(t))
+            .min()
+            .copied()
+            .unwrap_or(checkpoint_lsn);
+        let cutoff = live_min.min(checkpoint_lsn);
+        self.log_record(
+            ctx,
+            LogRecord::Checkpoint {
+                retired,
+                xretired,
+                items,
+            },
+        );
+        self.last_checkpoint_end = self.storage.wal().next_lsn();
+        if self.durability_barrier() {
+            self.defer(DeferredOp::Truncate { cutoff });
+        } else {
+            self.storage.truncate_log_before(cutoff);
+        }
+        // Keep ticking while the site keeps logging.
+        self.arm_checkpoint(ctx);
     }
 
     /// Drains locally queued (self-addressed) messages.
@@ -1005,6 +1190,11 @@ impl SiteNode {
                     self.xcoords.remove(&txn);
                 }
             }
+            // Fully retired: the next checkpoint carries the outcome, so
+            // this transaction no longer pins the truncation cutoff.
+            if !self.txns.contains_key(&txn) && !self.xcoords.contains_key(&txn) {
+                self.first_lsn.remove(&txn);
+            }
         }
     }
 
@@ -1279,6 +1469,17 @@ impl Process for SiteNode {
     type Msg = NetMsg;
     type Timer = NodeTimer;
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        // A node built over a reopened (non-empty) file WAL holds
+        // durable history but no volatile state: recover before serving
+        // anything, exactly as post-crash recovery would. A fresh log
+        // is a no-op, so newly created clusters (and their golden
+        // digests) are unaffected.
+        if !self.storage.wal().is_empty() {
+            self.on_recover(ctx);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, msg: NetMsg) {
         self.sweep_retired(ctx.now());
         self.handle_net(ctx, from, msg);
@@ -1378,6 +1579,7 @@ impl Process for SiteNode {
                     self.run_deferred(ctx, ops);
                 }
             }
+            NodeTimer::Checkpoint => self.on_checkpoint_tick(ctx),
         }
         self.pump(ctx);
     }
@@ -1401,13 +1603,74 @@ impl Process for SiteNode {
         self.inflight_forces.clear();
         self.flush_timer = None;
         self.wal_free_at = Time::ZERO;
+        // Checkpoint bookkeeping is volatile (timers from before the
+        // crash never fire); recovery rebuilds it from the log.
+        self.first_lsn.clear();
+        self.checkpoint_armed = false;
+        self.last_checkpoint_end = Lsn(0);
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
+        // Checkpoint outcomes first: they stand in for truncated
+        // per-transaction records, so the retired maps must answer
+        // before the replay passes decide what to resurrect.
+        let (ck_retired, ck_xretired, ck_items) = match last_checkpoint(self.log_records()) {
+            Some((r, x, i)) => (r.to_vec(), x.to_vec(), i.to_vec()),
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        // Item snapshot before the replay passes: suffix records carry
+        // only post-checkpoint updates. `apply_update` is monotone, so
+        // never-written copies (snapshot at the initial version) fall
+        // through to the load-time value harmlessly.
+        for (item, version, value) in ck_items {
+            if self.storage.read_item(item).is_some() {
+                let _ = self.storage.apply_update(item, version, value);
+            }
+        }
+        for o in ck_retired {
+            self.retired.insert(
+                o.txn,
+                RetiredTxn {
+                    decision: o.decision,
+                    commit_version: o.commit_version,
+                    decided_at: ctx.now(),
+                },
+            );
+        }
+        for o in ck_xretired {
+            self.xretired.insert(
+                o.txn,
+                XRetired {
+                    decision: o.decision,
+                    branches: o
+                        .branches
+                        .into_iter()
+                        .map(|(c, p, v)| (c, p.into_iter().collect(), v))
+                        .collect(),
+                },
+            );
+        }
+        // Rebuild the truncation bookkeeping from the durable log: the
+        // first retained LSN per transaction, and the log end as of the
+        // newest checkpoint.
+        for (lsn, rec) in self.storage.wal().replay() {
+            match rec.txn() {
+                Some(t) => {
+                    self.first_lsn.entry(t).or_insert(lsn);
+                }
+                None => self.last_checkpoint_end = Lsn(lsn.0 + 1),
+            }
+        }
         let recovered = recover_state(self.storage.wal().replay().map(|(_, r)| r));
         let site = self.cfg.site;
         let faulty = self.cfg.faulty;
         for (txn, rec) in recovered {
+            if self.retired.contains_key(&txn) {
+                // Retired before the checkpoint: only leftover records
+                // of an already-answered history (truncation keeps
+                // whole segments). The compact outcome keeps answering.
+                continue;
+            }
             let Some(spec) = rec.spec.clone() else {
                 // Without a spec (vote-no abort) there is nothing to
                 // re-enter; the decision is already durable.
@@ -1546,11 +1809,22 @@ impl Process for SiteNode {
         // one is re-announced to every branch coordinator.
         let xrecovered = recover_xstate(self.storage.wal().replay().map(|(_, r)| r));
         for (txn, rec) in xrecovered {
+            if self.xretired.contains_key(&txn) {
+                // Retired into the checkpoint: the compact record keeps
+                // answering orphans; no engine (and no re-announce
+                // storm) needed.
+                continue;
+            }
             let (x, actions) = XTxnCoordinator::from_recovery(txn, &rec);
             self.xcoords.insert(txn, x);
             self.apply_actions(ctx, txn, self.cfg.site, actions);
             self.schedule_retire(ctx.now(), txn);
         }
+        // Only live transactions pin the truncation cutoff; leftover
+        // entries for retired/abandoned ones would pin it forever.
+        let (txns, xcoords) = (&self.txns, &self.xcoords);
+        self.first_lsn
+            .retain(|t, _| txns.contains_key(t) || xcoords.contains_key(t));
         self.pump(ctx);
     }
 }

@@ -5,26 +5,45 @@
 //! node and is destroyed by `crash()`; everything in here survives.
 //! The `incarnation` counter distinguishes pre- and post-crash lifetimes
 //! of a site (useful for debugging and for ignoring stale state).
+//!
+//! The WAL half is generic over its [`WalBackend`]: the deterministic
+//! in-memory [`Wal`] by default (the simulator's durability model), or
+//! a disk-backed [`crate::FileWal`]/[`crate::EitherWal`] when forces
+//! should hit a real device.
 
 use crate::store::{StoreError, VersionedStore};
-use crate::wal::{Lsn, Wal};
+use crate::wal::{Lsn, Wal, WalBackend};
 use qbc_votes::{ItemId, Version};
+use std::marker::PhantomData;
 
-/// Durable state of one database site.
+/// Durable state of one database site, generic over the log backend
+/// `W` (in-memory [`Wal`] unless chosen otherwise).
 #[derive(Clone, Debug, Default)]
-pub struct SiteStorage<R, V> {
-    wal: Wal<R>,
+pub struct SiteStorage<R, V, W = Wal<R>> {
+    wal: W,
     items: VersionedStore<V>,
     incarnation: u32,
+    _record: PhantomData<fn() -> R>,
 }
 
-impl<R: Clone, V: Clone> SiteStorage<R, V> {
-    /// Empty storage for a fresh site.
+impl<R, V: Clone, W: WalBackend<R> + Default> SiteStorage<R, V, W> {
+    /// Empty storage for a fresh site (backends with a default empty
+    /// state; a [`crate::FileWal`] is opened first and passed to
+    /// [`SiteStorage::with_wal`]).
     pub fn new() -> Self {
+        Self::with_wal(W::default())
+    }
+}
+
+impl<R, V: Clone, W: WalBackend<R>> SiteStorage<R, V, W> {
+    /// Storage over an already-opened log backend. A reopened disk log
+    /// arrives with its recovered records; the caller replays them.
+    pub fn with_wal(wal: W) -> Self {
         SiteStorage {
-            wal: Wal::new(),
+            wal,
             items: VersionedStore::new(),
             incarnation: 0,
+            _record: PhantomData,
         }
     }
 
@@ -51,8 +70,15 @@ impl<R: Clone, V: Clone> SiteStorage<R, V> {
     }
 
     /// Read-only view of the log for recovery.
-    pub fn wal(&self) -> &Wal<R> {
+    pub fn wal(&self) -> &W {
         &self.wal
+    }
+
+    /// Discards durable log records below `cutoff` (after a checkpoint
+    /// record has captured everything recovery needed from them). See
+    /// [`WalBackend::truncate_before`].
+    pub fn truncate_log_before(&mut self, cutoff: Lsn) {
+        self.wal.truncate_before(cutoff);
     }
 
     /// Installs an initial copy of an item (database load time).
@@ -139,5 +165,17 @@ mod tests {
         st.initialize_item(ItemId(1), 0);
         let items: Vec<ItemId> = st.items().collect();
         assert_eq!(items, vec![ItemId(1), ItemId(3)]);
+    }
+
+    #[test]
+    fn truncation_is_reachable_through_site_storage() {
+        let mut st: SiteStorage<u32, i64> = SiteStorage::new();
+        for r in 0..4 {
+            st.log(r);
+        }
+        st.truncate_log_before(Lsn(2));
+        let recs: Vec<u32> = st.wal().replay().map(|(_, r)| *r).collect();
+        assert_eq!(recs, vec![2, 3]);
+        assert_eq!(st.wal().start_lsn(), Lsn(2));
     }
 }
