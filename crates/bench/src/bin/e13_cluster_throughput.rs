@@ -52,6 +52,8 @@ fn row(t: &mut Table, name: &str, r: &ClusterLoadReport) {
         &r.aborted,
         &r.undecided,
         &format!("{:.1}", r.mean_latency),
+        &r.p50_latency,
+        &r.p99_latency,
         &r.wal_forces,
         &format!("{:.2}", r.committed_per_kilotick),
     ]);
@@ -76,6 +78,8 @@ fn main() {
             "aborted",
             "undecided",
             "mean lat",
+            "p50",
+            "p99",
             "forces",
             "commits/kilotick",
         ]);

@@ -1,0 +1,299 @@
+//! E16 — protocol-aware metrics: phase breakdown, blocking windows,
+//! and the Gray & Lamport message/force comparison across protocols.
+//!
+//! Runs the *identical* deterministic submission schedule under each
+//! commit protocol (2PC, 3PC, Skeen's quorum protocol, QC1, QC2), twice
+//! per protocol: a fault-free cell and a coordinator-crash cell (one
+//! site down mid-stream, recovered later). The observability layer
+//! (`qbc-obs`) decomposes commit latency into vote / prepare / decide
+//! phases, measures how long copies stay pinned by undecided
+//! transactions and how long sites sit declared-blocked, and counts
+//! every wire message and WAL force — the quantities Gray & Lamport's
+//! "Consensus on Transaction Commit" uses to compare commit protocols.
+//!
+//! Output: a human table plus `BENCH_e16.json` with one record per
+//! (protocol, cell), and `BENCH_e16_flightdump.txt` with a sample
+//! flight-recorder dump from a crash cell (proof the ring captured the
+//! failure timeline).
+//!
+//! Modes:
+//! * default — full grid (120 txns per cell);
+//! * `--smoke` — small grid (CI): fewer transactions, same cells,
+//!   writes `BENCH_e16_smoke.json` / `BENCH_e16_flightdump_smoke.txt`.
+
+use qbc_cluster::{ClusterConfig, ObsConfig, ShardId, SimCluster};
+use qbc_core::{ProtocolKind, WriteSet};
+use qbc_obs::LatencyHistogram;
+use qbc_simnet::{Duration, SiteId, Time};
+use std::fmt::Write as _;
+
+const PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::TwoPhase,
+    ProtocolKind::ThreePhase,
+    ProtocolKind::SkeenQuorum,
+    ProtocolKind::QuorumCommit1,
+    ProtocolKind::QuorumCommit2,
+];
+
+/// One replica group, three sites, one vote per copy, r = w = 2 — the
+/// paper's running example shape, small enough that a single crash
+/// leaves a live quorum.
+fn cluster(protocol: ProtocolKind) -> ClusterConfig {
+    ClusterConfig {
+        shards: 1,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 64,
+        read_quorum: 2,
+        write_quorum: 2,
+        protocol,
+        t_bound: Duration(10),
+        seed: 16,
+        ..Default::default()
+    }
+    .with_obs(ObsConfig::on())
+}
+
+struct Cell {
+    protocol: ProtocolKind,
+    crash: bool,
+    submitted: u64,
+    rejected: u64,
+    committed: u64,
+    aborted: u64,
+    msgs_sent: u64,
+    wal_forces: u64,
+    vote: LatencyHistogram,
+    prepare: LatencyHistogram,
+    decide: LatencyHistogram,
+    commit: LatencyHistogram,
+    pin: LatencyHistogram,
+    blocked: LatencyHistogram,
+    unavailable_ticks: u64,
+    unavailable_windows: u64,
+    dumps: Vec<(String, String)>,
+    virtual_ticks: u64,
+}
+
+/// Runs one (protocol, cell) on the shared deterministic schedule:
+/// `clients` striped writers over disjoint item stripes (no RNG, no
+/// conflict aborts — differences between cells are protocol cost, not
+/// workload noise). The crash cell takes one site down mid-stream.
+fn run_cell(protocol: ProtocolKind, crash: bool, clients: u32, txns_per_client: u32) -> Cell {
+    let mut cluster = SimCluster::new(cluster(protocol));
+    let items = cluster.map().items_of(ShardId(0));
+    let think = 40u64;
+    let per_txn = 2usize;
+    let mut submitted = 0u64;
+    for j in 0..txns_per_client {
+        for c in 0..clients {
+            let jitter = (c as u64).wrapping_mul(7) % think;
+            let at = Time(10 + j as u64 * think + jitter);
+            let stripe = c as usize * per_txn;
+            let ws = WriteSet::new((0..per_txn).map(|i| {
+                (
+                    items[(stripe + i) % items.len()],
+                    ((c as i64) << 32) | ((j as i64) << 16) | i as i64,
+                )
+            }));
+            cluster.submit_at(at, ws);
+            submitted += 1;
+        }
+    }
+    if crash {
+        // One site (a round-robin coordinator) dies mid-stream and
+        // returns much later: in-flight transactions it coordinated
+        // must be terminated by the survivors (or block until it
+        // returns, depending on the protocol).
+        let mid = Time(10 + (txns_per_client as u64 / 2) * think + 5);
+        cluster.sim_mut().schedule_crash(mid, SiteId(0));
+        cluster
+            .sim_mut()
+            .schedule_recover(Time(mid.0 + 2_000), SiteId(0));
+    }
+    for _ in 0..200 {
+        if cluster.run_to_quiescence(10_000_000).drained() {
+            break;
+        }
+    }
+    let now = cluster.now();
+    let (metrics, violations) = cluster.metrics_and_violations();
+    assert!(
+        violations.is_empty() && cluster.engine_violations().is_empty(),
+        "{protocol:?} crash={crash}: atomicity violated"
+    );
+    assert_eq!(
+        metrics.total_undecided(),
+        0,
+        "{protocol:?} crash={crash}: schedule did not fully terminate"
+    );
+    // Submissions routed to the crashed coordinator while it was down
+    // are rejected (the request dies with the site, nothing is ever
+    // logged); the decided cells below compare only real runs.
+    let rejected: u64 = metrics.shards.iter().map(|s| s.rejected).sum();
+    let obs = cluster.obs().expect("obs enabled").clone();
+    let phases = obs.phase_hists();
+    Cell {
+        protocol,
+        crash,
+        submitted,
+        rejected,
+        committed: metrics.total_committed(),
+        aborted: metrics.total_aborted(),
+        msgs_sent: obs.msgs_sent(),
+        wal_forces: obs.wal_forces(),
+        vote: phases.vote,
+        prepare: phases.prepare,
+        decide: phases.decide,
+        commit: phases.commit,
+        pin: obs.pin_time(),
+        blocked: obs.blocked_window(),
+        unavailable_ticks: obs.unavailable_total(now).0,
+        unavailable_windows: obs.unavailable_windows(),
+        dumps: obs.dumps(),
+        virtual_ticks: now.0,
+    }
+}
+
+fn hist_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"sum_ticks\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count(),
+        h.sum(),
+        h.p50().0,
+        h.p99().0,
+        h.max().0
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, txns_per_client) = if smoke { (3, 6) } else { (6, 20) };
+
+    println!("E16 — protocol metrics: phase breakdown, blocking, messages, forces");
+    println!(
+        "(1 shard x 3 sites, r=w=2, {clients} clients x {txns_per_client} txns, \
+         identical schedule per cell)\n"
+    );
+    println!(
+        "{:<16} {:<6} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "protocol",
+        "cell",
+        "commit",
+        "abort",
+        "msgs",
+        "forces",
+        "vote p99",
+        "e2e p50",
+        "e2e p99",
+        "blocked",
+        "pinned",
+    );
+
+    let mut cells = Vec::new();
+    for protocol in PROTOCOLS {
+        for crash in [false, true] {
+            let cell = run_cell(protocol, crash, clients, txns_per_client);
+            println!(
+                "{:<16} {:<6} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}x{:<3} {:>6}x{:<3}",
+                format!("{:?}", cell.protocol),
+                if crash { "crash" } else { "happy" },
+                cell.committed,
+                cell.aborted,
+                cell.msgs_sent,
+                cell.wal_forces,
+                cell.vote.p99().0,
+                cell.commit.p50().0,
+                cell.commit.p99().0,
+                cell.blocked.sum(),
+                cell.blocked.count(),
+                cell.pin.sum(),
+                cell.pin.count(),
+            );
+            cells.push(cell);
+        }
+    }
+    println!();
+
+    // Acceptance: every cell decided its whole schedule; the fault-free
+    // cells never declared a blocked window; per-protocol message and
+    // force counts are live (the comparison columns mean something).
+    let mut crash_dump: Option<&(String, String)> = None;
+    for cell in &cells {
+        assert!(
+            cell.committed + cell.aborted + cell.rejected == cell.submitted,
+            "{:?} crash={}: {} of {} unaccounted for",
+            cell.protocol,
+            cell.crash,
+            cell.submitted - cell.committed - cell.aborted - cell.rejected,
+            cell.submitted
+        );
+        assert!(
+            cell.crash || cell.rejected == 0,
+            "{:?} happy cell rejected submissions",
+            cell.protocol
+        );
+        assert!(cell.committed > 0, "{:?}: nothing committed", cell.protocol);
+        assert!(cell.msgs_sent > 0 && cell.wal_forces > 0);
+        assert_eq!(
+            cell.commit.count(),
+            cell.committed,
+            "{:?}: phase coverage",
+            cell.protocol
+        );
+        if !cell.crash {
+            assert_eq!(
+                cell.blocked.count(),
+                0,
+                "{:?} happy cell declared blocked",
+                cell.protocol
+            );
+        } else if crash_dump.is_none() {
+            crash_dump = cell.dumps.first();
+        }
+    }
+    let crash_dump = crash_dump.expect("a crash cell must have auto-dumped its flight recorder");
+    assert!(!crash_dump.1.is_empty(), "flight dump is empty");
+
+    let mut json = String::from("{\n  \"bench\": \"e16_protocol_metrics\",\n  \"unit\": \"virtual ticks\",\n  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"protocol\": \"{:?}\", \"cell\": \"{}\", \"submitted\": {}, \"rejected\": {}, \"committed\": {}, \"aborted\": {}, \"virtual_ticks\": {}, \"msgs_sent\": {}, \"msgs_per_commit\": {:.2}, \"wal_forces\": {}, \"forces_per_commit\": {:.2}, \"phase_vote\": {}, \"phase_prepare\": {}, \"phase_decide\": {}, \"commit_latency\": {}, \"pin_time\": {}, \"blocked_window\": {}, \"read_unavailable_ticks\": {}, \"read_unavailable_windows\": {}, \"flight_dumps\": {}}}",
+            cell.protocol,
+            if cell.crash { "coordinator_crash" } else { "happy" },
+            cell.submitted,
+            cell.rejected,
+            cell.committed,
+            cell.aborted,
+            cell.virtual_ticks,
+            cell.msgs_sent,
+            cell.msgs_sent as f64 / cell.committed as f64,
+            cell.wal_forces,
+            cell.wal_forces as f64 / cell.committed as f64,
+            hist_json(&cell.vote),
+            hist_json(&cell.prepare),
+            hist_json(&cell.decide),
+            hist_json(&cell.commit),
+            hist_json(&cell.pin),
+            hist_json(&cell.blocked),
+            cell.unavailable_ticks,
+            cell.unavailable_windows,
+            cell.dumps.len(),
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    let (json_out, dump_out) = if smoke {
+        ("BENCH_e16_smoke.json", "BENCH_e16_flightdump_smoke.txt")
+    } else {
+        ("BENCH_e16.json", "BENCH_e16_flightdump.txt")
+    };
+    std::fs::write(json_out, &json).unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+    let dump_text = format!("reason: {}\n\n{}", crash_dump.0, crash_dump.1);
+    std::fs::write(dump_out, &dump_text).unwrap_or_else(|e| panic!("write {dump_out}: {e}"));
+    println!("wrote {json_out} and {dump_out}");
+}

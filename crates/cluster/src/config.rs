@@ -1,6 +1,7 @@
 //! Cluster-wide configuration.
 
 use qbc_core::ProtocolKind;
+use qbc_obs::ObsConfig;
 use qbc_simnet::Duration;
 use std::path::PathBuf;
 
@@ -37,6 +38,10 @@ pub struct ClusterConfig {
     pub group_commit_window: Option<Duration>,
     /// Force a batch early at this many staged records.
     pub group_commit_max_batch: usize,
+    /// Size each site's group-commit window from the observed
+    /// log-device backlog instead of the static constant (see
+    /// [`qbc_db::NodeConfig::adaptive_commit_window`]). Off by default.
+    pub adaptive_commit_window: bool,
     /// Simulated latency of one WAL force (serial log device).
     pub force_latency: Duration,
     /// Retire decided per-transaction state at every site this long
@@ -48,11 +53,11 @@ pub struct ClusterConfig {
     /// deterministic in-memory backend at every site. Reopening an
     /// existing root recovers the existing logs: each node replays its
     /// retained records on startup, before serving anything (the
-    /// crash/restart tests rebuild whole clusters this way). Caveat:
-    /// the *front-end's* transaction-id counter restarts at 1, so a
-    /// restarted cluster answers recovered history correctly but must
-    /// not be given new submissions over the same directory yet (see
-    /// ROADMAP: durable transaction-id allocation).
+    /// crash/restart tests rebuild whole clusters this way). The
+    /// front-end's transaction-id counter is primed past the largest id
+    /// with any durable trace across the reopened logs, so a restarted
+    /// cluster can take new submissions without colliding with its
+    /// previous incarnation's ids.
     pub wal_dir: Option<PathBuf>,
     /// Segment roll threshold for file-backed WALs, in bytes.
     pub wal_segment_bytes: u64,
@@ -66,6 +71,11 @@ pub struct ClusterConfig {
     /// [`ClusterConfig::retire_after`], since live transactions pin
     /// the log. `None` (the default) never truncates.
     pub checkpoint_interval: Option<Duration>,
+    /// Observability layer (protocol tracing, metrics registry, flight
+    /// recorder). Disabled by default: no observer is constructed at
+    /// all, so the simulator hot path — and the golden digests — are
+    /// byte-identical to the uninstrumented build.
+    pub obs: ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -83,12 +93,14 @@ impl Default for ClusterConfig {
             group_commit: false,
             group_commit_window: None,
             group_commit_max_batch: 64,
+            adaptive_commit_window: false,
             force_latency: Duration::ZERO,
             retire_after: None,
             wal_dir: None,
             wal_segment_bytes: 4 << 20,
             wal_fsync: true,
             checkpoint_interval: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -107,6 +119,19 @@ impl ClusterConfig {
     /// Enables group commit (builder style).
     pub fn with_group_commit(mut self) -> Self {
         self.group_commit = true;
+        self
+    }
+
+    /// Sizes the group-commit window adaptively from the live
+    /// `wal_backlog` gauge (builder style).
+    pub fn with_adaptive_commit_window(mut self) -> Self {
+        self.adaptive_commit_window = true;
+        self
+    }
+
+    /// Enables the observability layer (builder style).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 

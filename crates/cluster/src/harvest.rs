@@ -7,12 +7,52 @@ use crate::shard::{ShardId, ShardMap};
 use crate::sim_cluster::TxnHandle;
 use qbc_core::{Decision, ProtocolKind, SiteVotes, TxnId};
 use qbc_db::{NodeConfig, SiteNode};
+use qbc_obs::Obs;
 use qbc_simnet::{SiteId, Time};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds the cluster's shared observer when the configuration enables
+/// it, with every catalog item pre-registered so the blocking tracker
+/// knows each item's replication shape and read quorum.
+pub(crate) fn make_obs(cfg: &ClusterConfig, map: &ShardMap) -> Option<Arc<Obs>> {
+    if !cfg.obs.enabled {
+        return None;
+    }
+    let obs = Arc::new(Obs::new(cfg.obs.clone()));
+    if cfg.obs.panic_hook {
+        obs.install_panic_hook();
+    }
+    for shard in 0..cfg.shards {
+        for spec in map.catalog(ShardId(shard)).items() {
+            let copies: Vec<(SiteId, u32)> = spec.copies.iter().map(|(&s, &w)| (s, w)).collect();
+            obs.register_item(spec.id, copies, spec.read_quorum);
+        }
+    }
+    Some(obs)
+}
+
+/// The front-end's first fresh transaction id over a set of (possibly
+/// reopened) nodes: one past the largest id with any durable trace, so
+/// a restarted cluster never re-issues an id its previous incarnation
+/// used. Fresh logs yield the usual 1.
+pub(crate) fn first_fresh_txn(nodes: &[(SiteId, SiteNode)]) -> u64 {
+    nodes
+        .iter()
+        .filter_map(|(_, n)| n.max_durable_txn())
+        .map(|t| t.0 + 1)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
 
 /// Builds one configured [`SiteNode`] per cluster site (initial item
 /// values zero), ready for either substrate.
-pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, SiteNode)> {
+pub(crate) fn build_nodes(
+    cfg: &ClusterConfig,
+    map: &ShardMap,
+    obs: Option<&Arc<Obs>>,
+) -> Vec<(SiteId, SiteNode)> {
     let mut nodes = Vec::with_capacity(cfg.total_sites() as usize);
     for shard in 0..cfg.shards {
         let shard = ShardId(shard);
@@ -24,9 +64,13 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, map: &ShardMap) -> Vec<(SiteId, S
                 nc.group_commit_window = w;
             }
             nc.group_commit_max_batch = cfg.group_commit_max_batch;
+            nc.adaptive_commit_window = cfg.adaptive_commit_window;
             nc.force_latency = cfg.force_latency;
             nc.retire_after = cfg.retire_after;
             nc.checkpoint_interval = cfg.checkpoint_interval;
+            if let Some(obs) = obs {
+                nc.obs = Some(Arc::clone(obs));
+            }
             if let Some(root) = &cfg.wal_dir {
                 nc.wal_backend = qbc_db::WalBackendConfig::File {
                     dir: root.join(format!("site-{}", site.0)),

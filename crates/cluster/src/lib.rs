@@ -34,6 +34,14 @@
 //! per cluster here and exercised by `e13_cluster_throughput`; decided
 //! transaction state can be retired after a re-announce window
 //! ([`ClusterConfig::retire_after`]) to bound per-site tables.
+//!
+//! Observability (`qbc-obs`) is opt-in via [`ClusterConfig::obs`]: the
+//! cluster then shares one [`Obs`] across its sites, tracing protocol
+//! phases, measuring blocking windows and copy pin times, and keeping a
+//! per-site flight recorder that dumps on atomicity violations. Export
+//! via [`SimCluster::metrics_json`] (deterministic JSON) or
+//! [`ClusterReport::prometheus_text`] (Prometheus text format). See
+//! `docs/observability.md` for the event model and metric catalog.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,6 +55,7 @@ mod threaded_cluster;
 
 pub use config::ClusterConfig;
 pub use metrics::{AtomicityViolation, ClusterMetrics, LatencyHistogram, ShardMetrics};
+pub use qbc_obs::{Obs, ObsConfig, Registry};
 pub use shard::{ShardId, ShardMap};
 pub use sim_cluster::{ReadHandle, Session, SimCluster, TxnHandle, TxnStatus};
 pub use threaded_cluster::{ClusterReport, ThreadedCluster};

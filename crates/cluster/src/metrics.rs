@@ -3,71 +3,14 @@
 
 use crate::shard::ShardId;
 use qbc_core::TxnId;
+use qbc_obs::Registry;
 use qbc_simnet::{Duration, SiteId};
 use std::fmt;
 
-/// A power-of-two-bucketed latency histogram over virtual-time
-/// durations. Bucket `i` holds durations in `[2^i, 2^(i+1))` ticks
-/// (bucket 0 also holds zero).
-#[derive(Clone, Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [u64; 32],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one duration.
-    pub fn record(&mut self, d: Duration) {
-        let idx = (64 - d.0.max(1).leading_zeros() as usize - 1).min(31);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += d.0;
-        self.max = self.max.max(d.0);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean recorded duration (zero when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded duration.
-    pub fn max(&self) -> Duration {
-        Duration(self.max)
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 < q <= 1.0`); zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Duration(1u64 << (i + 1));
-            }
-        }
-        Duration(self.max)
-    }
-}
+// The histogram moved to `qbc-obs` (where every metrics consumer can
+// reach it without depending on the cluster runtime); re-exported here
+// so existing `qbc_cluster::LatencyHistogram` users are unaffected.
+pub use qbc_obs::LatencyHistogram;
 
 /// Counters and distributions for one shard.
 #[derive(Clone, Debug, Default)]
@@ -176,6 +119,99 @@ impl ClusterMetrics {
             .map(|s| s.latency.mean() * s.latency.count() as f64)
             .sum();
         weighted / count as f64
+    }
+
+    /// Latency distribution merged over every shard (client-observed
+    /// decision latency, for cluster-level quantiles).
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for s in &self.shards {
+            all.merge(&s.latency);
+        }
+        all
+    }
+
+    /// Appends every per-shard metric to `r`, labeled `shard="<k>"`.
+    /// Combined with [`qbc_obs::Obs::fill_registry`] this is the full
+    /// exporter surface: the Prometheus text endpoint of the threaded
+    /// cluster and the JSON snapshot of the simulated one both render
+    /// the registry this fills.
+    pub fn fill_registry(&self, r: &mut Registry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let l = &[("shard", i.to_string())];
+            r.counter(
+                "qbc_shard_submitted_total",
+                l,
+                "transactions submitted to the shard",
+                s.submitted,
+            );
+            r.counter(
+                "qbc_shard_committed_total",
+                l,
+                "transactions committed",
+                s.committed,
+            );
+            r.counter(
+                "qbc_shard_aborted_total",
+                l,
+                "transactions aborted",
+                s.aborted,
+            );
+            r.counter(
+                "qbc_shard_rejected_total",
+                l,
+                "submissions lost to a down coordinator",
+                s.rejected,
+            );
+            r.gauge(
+                "qbc_shard_undecided",
+                l,
+                "transactions with no decision anywhere (at harvest)",
+                s.undecided as f64,
+            );
+            r.gauge(
+                "qbc_shard_blocked",
+                l,
+                "transactions currently declared blocked",
+                s.blocked as f64,
+            );
+            r.counter(
+                "qbc_shard_wal_forces_total",
+                l,
+                "WAL forces paid across the shard's sites",
+                s.wal_forces,
+            );
+            r.counter(
+                "qbc_shard_wal_records_total",
+                l,
+                "records ever made durable across the shard's sites",
+                s.wal_records,
+            );
+            r.gauge(
+                "qbc_shard_queue_depth",
+                l,
+                "in-flight transactions at harvest",
+                s.queue_depth as f64,
+            );
+            r.gauge(
+                "qbc_shard_peak_queue_depth",
+                l,
+                "largest queue depth seen across harvests",
+                s.peak_queue_depth as f64,
+            );
+            r.gauge(
+                "qbc_shard_wal_backlog_ticks",
+                l,
+                "largest log-device backlog across sites at harvest",
+                s.wal_backlog.0 as f64,
+            );
+            r.histogram(
+                "qbc_shard_latency_ticks",
+                l,
+                "client-observed decision latency",
+                &s.latency,
+            );
+        }
     }
 }
 

@@ -1,14 +1,16 @@
 //! The cluster front-end on the deterministic simulator.
 
 use crate::config::ClusterConfig;
-use crate::harvest::{build_nodes, harvest};
+use crate::harvest::{build_nodes, first_fresh_txn, harvest, make_obs};
 use crate::metrics::{AtomicityViolation, ClusterMetrics};
 use crate::shard::{ShardId, ShardMap};
 use qbc_core::{Decision, TxnId, WriteSet};
 use qbc_db::{ReadResult, SiteNode, Violation};
+use qbc_obs::{Obs, Registry};
 use qbc_simnet::{DelayModel, Duration, Quiescence, Sim, SimConfig, SiteId, Time};
 use qbc_votes::ItemId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Client-observable state of a submitted transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,13 +106,18 @@ pub struct SimCluster {
     /// Shard sets of cross-shard transactions (absent ⇒ single-shard).
     xshards: BTreeMap<TxnId, Vec<ShardId>>,
     peak_queue: Vec<u64>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl SimCluster {
     /// Builds and deploys the cluster (all sites up, fully connected).
     pub fn new(cfg: ClusterConfig) -> Self {
         let map = ShardMap::new(&cfg);
-        let nodes = build_nodes(&cfg, &map);
+        let obs = make_obs(&cfg, &map);
+        let nodes = build_nodes(&cfg, &map, obs.as_ref());
+        // Durable id allocation: a cluster reopening file-backed logs
+        // resumes numbering past its previous incarnation's ids.
+        let next_txn = first_fresh_txn(&nodes);
         let sim = Sim::new(
             SimConfig {
                 seed: cfg.seed,
@@ -124,13 +131,14 @@ impl SimCluster {
             cfg,
             map,
             sim,
-            next_txn: 1,
+            next_txn,
             next_read: 1,
             next_session: 0,
             rr_by_shard: vec![0; shards],
             handles: Vec::new(),
             xshards: BTreeMap::new(),
             peak_queue: vec![0; shards],
+            obs,
         }
     }
 
@@ -352,7 +360,33 @@ impl SimCluster {
             self.peak_queue[i] = self.peak_queue[i].max(m.queue_depth);
             m.peak_queue_depth = self.peak_queue[i];
         }
+        if let (Some(obs), Some(v)) = (&self.obs, violations.first()) {
+            // The one outcome the protocols must never allow: freeze
+            // the flight recorder's view of how it happened.
+            let _ = obs.dump(&format!("atomicity violation: txn {}", v.txn.0));
+        }
         (metrics, violations)
+    }
+
+    /// The shared observer, when [`ClusterConfig::obs`] enabled one.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Deterministic JSON snapshot of the full metrics registry:
+    /// per-shard counters/histograms plus (when observability is on)
+    /// every observer metric. Key order is insertion order, and every
+    /// value derives from virtual time, so two runs of the same
+    /// schedule serialize byte-identically.
+    pub fn metrics_json(&mut self) -> String {
+        let now = self.sim.now();
+        let metrics = self.metrics();
+        let mut r = Registry::new();
+        metrics.fill_registry(&mut r);
+        if let Some(obs) = &self.obs {
+            obs.fill_registry(now, &mut r);
+        }
+        r.json()
     }
 
     /// Harvests the live metrics registry: counters and histograms over

@@ -8,15 +8,17 @@
 //! independence and provides a wall-clock smoke environment.
 
 use crate::config::ClusterConfig;
-use crate::harvest::{build_nodes, harvest};
+use crate::harvest::{build_nodes, first_fresh_txn, harvest, make_obs};
 use crate::metrics::{AtomicityViolation, ClusterMetrics};
 use crate::shard::{ShardId, ShardMap};
 use crate::sim_cluster::TxnHandle;
 use qbc_core::{Decision, TxnId, WriteSet};
 use qbc_db::{NetMsg, SiteNode};
+use qbc_obs::{Obs, Registry};
 use qbc_simnet::threaded::{ThreadedConfig, ThreadedNet};
 use qbc_simnet::{SiteId, Time};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Final state of a threaded cluster run, computed at shutdown.
 #[derive(Debug)]
@@ -29,6 +31,29 @@ pub struct ClusterReport {
     pub metrics: ClusterMetrics,
     /// Transactions that terminated inconsistently (must be empty).
     pub atomicity_violations: Vec<AtomicityViolation>,
+    /// The cluster's observer (when [`ClusterConfig::obs`] enabled
+    /// one), carried out of the shutdown so phase histograms, dumps and
+    /// the exporter below remain reachable.
+    pub obs: Option<Arc<Obs>>,
+}
+
+impl ClusterReport {
+    /// Renders the full metrics registry in the Prometheus text
+    /// exposition format: per-shard counters/histograms plus (when
+    /// observability was on) every observer metric. This is the scrape
+    /// payload a `/metrics` endpoint would serve.
+    pub fn prometheus_text(&self) -> String {
+        let mut r = Registry::new();
+        self.metrics.fill_registry(&mut r);
+        if let Some(obs) = &self.obs {
+            // "Now" for still-open windows: the newest event the
+            // flight recorder retained (the report is post-shutdown, so
+            // nothing further can happen).
+            let now = obs.events().last().map(|e| e.at).unwrap_or(Time::ZERO);
+            obs.fill_registry(now, &mut r);
+        }
+        r.prometheus_text()
+    }
 }
 
 /// A sharded cluster on OS threads.
@@ -42,6 +67,7 @@ pub struct ThreadedCluster {
     handles: Vec<TxnHandle>,
     /// Shard sets of cross-shard transactions (absent ⇒ single-shard).
     xshards: BTreeMap<TxnId, Vec<ShardId>>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl ThreadedCluster {
@@ -49,7 +75,11 @@ impl ThreadedCluster {
     /// `delay_ms` is the fixed per-message transit delay.
     pub fn spawn(cfg: ClusterConfig, delay_ms: u64) -> Self {
         let map = ShardMap::new(&cfg);
-        let nodes = build_nodes(&cfg, &map);
+        let obs = make_obs(&cfg, &map);
+        let nodes = build_nodes(&cfg, &map, obs.as_ref());
+        // Durable id allocation (computed before the nodes move onto
+        // their threads): resume numbering past any reopened logs.
+        let next_txn = first_fresh_txn(&nodes);
         let net = ThreadedNet::spawn(
             ThreadedConfig {
                 delay_ms,
@@ -64,11 +94,19 @@ impl ThreadedCluster {
             map,
             net,
             client,
-            next_txn: 1,
+            next_txn,
             rr_by_shard: vec![0; shards],
             handles: Vec::new(),
             xshards: BTreeMap::new(),
+            obs,
         }
+    }
+
+    /// The shared observer, when [`ClusterConfig::obs`] enabled one.
+    /// Live while the cluster runs: scrape-style exporters can render
+    /// it mid-run without stopping the threads.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// The placement map.
@@ -173,10 +211,14 @@ impl ThreadedCluster {
                 (*h, d)
             })
             .collect();
+        if let (Some(obs), Some(v)) = (&self.obs, atomicity_violations.first()) {
+            let _ = obs.dump(&format!("atomicity violation: txn {}", v.txn.0));
+        }
         ClusterReport {
             decisions,
             metrics,
             atomicity_violations,
+            obs: self.obs,
         }
     }
 }

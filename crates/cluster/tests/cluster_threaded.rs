@@ -2,7 +2,7 @@
 //! real OS threads. Kept small and time-bounded — correctness evidence
 //! lives on the deterministic substrate.
 
-use qbc_cluster::{ClusterConfig, ThreadedCluster};
+use qbc_cluster::{ClusterConfig, ObsConfig, ThreadedCluster};
 use qbc_core::WriteSet;
 use qbc_simnet::Duration;
 use qbc_votes::ItemId;
@@ -82,4 +82,45 @@ fn threaded_cluster_with_group_commit_still_commits() {
         m.total_committed()
     );
     assert!(m.total_wal_forces() > 0);
+}
+
+#[test]
+fn threaded_cluster_report_exports_prometheus_text() {
+    let cfg = ClusterConfig {
+        t_bound: Duration(20),
+        seed: 13,
+        ..Default::default()
+    }
+    .with_obs(ObsConfig::on());
+    let mut cluster = ThreadedCluster::spawn(cfg, 1);
+    let h0 = cluster.submit(WriteSet::new([(ItemId(0), 7)]));
+    let h1 = cluster.submit(WriteSet::new([(ItemId(8), 9)]));
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let report = cluster.shutdown();
+    assert_eq!(report.atomicity_violations, vec![]);
+    assert_eq!(report.metrics.total_committed(), 2);
+    let _ = (h0, h1);
+
+    // The scrape endpoint's payload: shard metrics plus the observer's
+    // protocol counters, in valid exposition format.
+    let text = report.prometheus_text();
+    assert!(
+        text.contains("# TYPE qbc_shard_committed_total counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("qbc_shard_committed_total{shard=\"0\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE qbc_msgs_sent_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("qbc_txns_committed_total 2"), "{text}");
+    assert!(text.contains("qbc_commit_latency_ticks_count 2"), "{text}");
+    // Histograms render cumulative buckets.
+    assert!(
+        text.contains("qbc_pin_time_ticks_bucket{le=\"+Inf\"}"),
+        "{text}"
+    );
 }

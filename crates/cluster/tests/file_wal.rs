@@ -247,3 +247,53 @@ fn checkpoints_bound_disk_bytes_while_a_control_grows() {
         );
     }
 }
+
+#[test]
+fn restarted_cluster_resumes_txn_ids_past_the_durable_maximum() {
+    let dir = TempDir::new("cluster-txn-ids");
+    let committed_max = {
+        let mut cluster = SimCluster::new(file_config(3, dir.path()));
+        let handles = drive(&mut cluster, 40);
+        assert_eq!(cluster.atomicity_violations(), vec![]);
+        // Committed transactions certainly left durable traces; an
+        // aborted tail may be presumed-abort (no record anywhere), so
+        // its ids are legitimately reusable.
+        handles
+            .iter()
+            .filter(|h| cluster.decision(h) == Some(Decision::Commit))
+            .map(|h| h.txn.0)
+            .max()
+            .unwrap()
+        // Cluster dropped; only the log files remain.
+    };
+    assert!(
+        committed_max >= 30,
+        "schedule should mostly commit, got {committed_max}"
+    );
+
+    // A fresh cluster over the same directories must not hand out ids
+    // with a durable trace from the previous incarnation — a durable
+    // record of txn k plus a brand-new txn k would corrupt recovery and
+    // the audit.
+    let mut restarted = SimCluster::new(file_config(3, dir.path()));
+    let q = restarted.run_to_quiescence(20_000_000);
+    assert!(q.drained(), "recovery must quiesce, got {q:?}");
+    let start = restarted.now().0 + 10;
+    let ws = writeset(&restarted, ShardId(0), 99);
+    let h = restarted.submit_at(Time(start), ws);
+    assert!(
+        h.txn.0 > committed_max,
+        "restart reused txn id {} (durable committed max {committed_max})",
+        h.txn.0
+    );
+    let q = restarted.run_to_quiescence(20_000_000);
+    assert!(q.drained());
+    assert_eq!(restarted.decision(&h), Some(Decision::Commit));
+    assert_eq!(restarted.atomicity_violations(), vec![]);
+
+    // An untouched directory still numbers from 1.
+    let fresh_dir = TempDir::new("cluster-txn-ids-fresh");
+    let mut fresh = SimCluster::new(file_config(3, fresh_dir.path()));
+    let ws = writeset(&fresh, ShardId(0), 0);
+    assert_eq!(fresh.submit_at(Time(10), ws).txn.0, 1);
+}

@@ -1,10 +1,12 @@
 //! Site-node configuration.
 
 use qbc_core::{FaultyMode, ProtocolKind, SiteVotes, TxnId};
+use qbc_obs::Obs;
 use qbc_simnet::{Duration, SiteId};
 use qbc_votes::Catalog;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Which WAL implementation a site runs on.
 ///
@@ -71,6 +73,14 @@ pub struct NodeConfig {
     /// How long the first staged record of a batch waits for companions
     /// before the batch is forced.
     pub group_commit_window: Duration,
+    /// Size the batch window from the observed log-device backlog
+    /// instead of the static constant: while the device is busy the
+    /// window stretches toward [`NodeConfig::group_commit_window`]
+    /// (batching is free — no force could start anyway), and on an
+    /// idle device it collapses to one tick so light load is not taxed
+    /// a full window of latency per decision. Off by default (the
+    /// static-window behaviour, and the golden digests, are unchanged).
+    pub adaptive_commit_window: bool,
     /// Force the batch early once this many records are staged.
     pub group_commit_max_batch: usize,
     /// Simulated latency of one WAL force. The log device is serial:
@@ -97,6 +107,12 @@ pub struct NodeConfig {
     /// (the default) never checkpoints (the seed behaviour: the log
     /// grows forever).
     pub checkpoint_interval: Option<Duration>,
+    /// The observability sink this site emits protocol trace events
+    /// into (shared across the cluster). `None` (the default) emits
+    /// nothing: no event is even constructed, so the simulator hot
+    /// path — and both golden digests — are byte-identical to the
+    /// uninstrumented build.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl NodeConfig {
@@ -114,11 +130,13 @@ impl NodeConfig {
             max_termination_rounds: u64::MAX,
             group_commit: false,
             group_commit_window: Duration((t_bound.0 / 2).max(1)),
+            adaptive_commit_window: false,
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
             retire_after: None,
             wal_backend: WalBackendConfig::Memory,
             checkpoint_interval: None,
+            obs: None,
         }
     }
 
@@ -143,6 +161,19 @@ impl NodeConfig {
     /// Enables group-commit batching of WAL forces.
     pub fn with_group_commit(mut self) -> Self {
         self.group_commit = true;
+        self
+    }
+
+    /// Sizes the group-commit window from the live `wal_backlog` gauge
+    /// instead of the static constant (builder style).
+    pub fn with_adaptive_commit_window(mut self) -> Self {
+        self.adaptive_commit_window = true;
+        self
+    }
+
+    /// Wires this site to an observability sink (builder style).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 

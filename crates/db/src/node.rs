@@ -32,7 +32,8 @@ use qbc_core::{
 };
 use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
 use qbc_locks::{LockManager, LockMode, LockOutcome};
-use qbc_simnet::{Ctx, Process, SiteId, Time, TimerId};
+use qbc_obs::{EventKind, TraceEvent, TraceSink};
+use qbc_simnet::{Ctx, Label, Process, SiteId, Time, TimerId};
 use qbc_storage::{EitherWal, FileWal, FileWalConfig, Lsn, SiteStorage, Wal, WalBackend};
 use qbc_votes::{Catalog, FastMap, ItemId, Version};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -388,6 +389,40 @@ impl SiteNode {
         self.storage.wal().replay().map(|(_, r)| r)
     }
 
+    /// The largest transaction id with any durable trace at this site —
+    /// in per-transaction records or folded into a checkpoint's retired
+    /// outcomes. A cluster reopening durable logs primes its id
+    /// allocator above the maximum across sites, so restarted workloads
+    /// never re-issue an id the old incarnation already used.
+    pub fn max_durable_txn(&self) -> Option<TxnId> {
+        let mut max: Option<TxnId> = None;
+        let mut note = |t: TxnId| {
+            if max.map(|m| t > m).unwrap_or(true) {
+                max = Some(t);
+            }
+        };
+        for rec in self.log_records() {
+            match rec {
+                LogRecord::Checkpoint {
+                    retired, xretired, ..
+                } => {
+                    for o in retired {
+                        note(o.txn);
+                    }
+                    for o in xretired {
+                        note(o.txn);
+                    }
+                }
+                other => {
+                    if let Some(t) = other.txn() {
+                        note(t);
+                    }
+                }
+            }
+        }
+        max
+    }
+
     /// Number of termination rounds this site initiated for `txn`.
     pub fn termination_rounds(&self, txn: TxnId) -> u64 {
         self.txns
@@ -461,6 +496,7 @@ impl SiteNode {
         ));
         let state = self.ensure_txn(ctx.now(), &spec);
         state.started_at = ctx.now();
+        self.emit(ctx.now(), Some(txn), EventKind::Submitted { protocol });
         let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
         let actions = coord.start();
         self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
@@ -484,6 +520,15 @@ impl SiteNode {
     ) {
         if self.xcoords.contains_key(&txn) || self.xretired.contains_key(&txn) {
             return; // duplicate submission
+        }
+        if let Some(b) = branches.first() {
+            self.emit(
+                ctx.now(),
+                Some(txn),
+                EventKind::Submitted {
+                    protocol: b.protocol,
+                },
+            );
         }
         let mut x = XTxnCoordinator::new(txn, branches);
         let actions = x.start();
@@ -549,6 +594,85 @@ impl SiteNode {
 
     // ---- internals -----------------------------------------------------
 
+    /// Emits one protocol trace event when observability is wired
+    /// (`NodeConfig::obs`); free otherwise.
+    #[inline]
+    fn emit(&self, at: Time, txn: Option<TxnId>, kind: EventKind) {
+        if let Some(obs) = &self.cfg.obs {
+            obs.record(TraceEvent {
+                at,
+                site: self.cfg.site,
+                txn,
+                kind,
+            });
+        }
+    }
+
+    /// Maps an engine action onto the trace event model. Called once
+    /// per action from [`SiteNode::apply_actions`]; the gate on
+    /// `cfg.obs` keeps the uninstrumented path to a single branch.
+    fn obs_action(&self, at: Time, txn: TxnId, a: &Action) {
+        if self.cfg.obs.is_none() {
+            return;
+        }
+        let kind = match a {
+            Action::Broadcast(_, Msg::VoteReq { .. }) => Some(EventKind::VoteReqOut),
+            Action::Broadcast(_, Msg::PrepareCommit { .. }) => {
+                Some(EventKind::PrepareOut { abort: false })
+            }
+            Action::Broadcast(_, Msg::PrepareAbort { .. }) => {
+                Some(EventKind::PrepareOut { abort: true })
+            }
+            Action::Broadcast(_, Msg::Commit { .. }) => Some(EventKind::DecisionOut {
+                decision: Decision::Commit,
+            }),
+            Action::Broadcast(_, Msg::Abort { .. }) => Some(EventKind::DecisionOut {
+                decision: Decision::Abort,
+            }),
+            Action::Reply(Msg::Vote { yes, .. }) => Some(EventKind::VoteOut { yes: *yes }),
+            Action::Send(_, Msg::XVote { yes, .. }) => Some(EventKind::XVoteOut { yes: *yes }),
+            Action::Send(_, Msg::XDecide { decision, .. })
+            | Action::Broadcast(_, Msg::XDecide { decision, .. }) => Some(EventKind::XDecideOut {
+                decision: *decision,
+            }),
+            Action::Log(LogRecord::Decided { decision, .. })
+            | Action::Log(LogRecord::XDecision { decision, .. }) => {
+                Some(EventKind::DecisionLogged {
+                    decision: *decision,
+                })
+            }
+            Action::DeclareBlocked { .. } => Some(EventKind::Blocked),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            // The commit point: the site driving the protocol (commit
+            // or termination coordinator, or the cross-shard parent)
+            // forcing a commit decision — past this force the
+            // transaction can no longer abort.
+            if kind
+                == (EventKind::DecisionLogged {
+                    decision: Decision::Commit,
+                })
+            {
+                let driving = self
+                    .txns
+                    .get(&txn)
+                    .map(|st| st.coordinator.is_some() || st.termination.is_some())
+                    .unwrap_or(false)
+                    || self.xcoords.contains_key(&txn);
+                if driving {
+                    self.emit(at, Some(txn), EventKind::CommitPoint);
+                }
+            }
+            self.emit(at, Some(txn), kind);
+        }
+        // A branch voting yes upward is *held* at its in-shard commit
+        // point until the top-level outcome arrives.
+        if let Action::Send(_, Msg::XVote { yes: true, .. }) = a {
+            self.emit(at, Some(txn), EventKind::Held);
+        }
+    }
+
     fn ensure_txn(&mut self, now: Time, spec: &Arc<TxnSpec>) -> &mut TxnState {
         let site = self.cfg.site;
         let faulty = self.cfg.faulty;
@@ -592,6 +716,9 @@ impl SiteNode {
         if to == self.cfg.site {
             self.local_queue.push_back(msg);
         } else {
+            if let Some(obs) = &self.cfg.obs {
+                obs.note_msg(msg.label());
+            }
             ctx.send(to, msg);
         }
     }
@@ -633,9 +760,17 @@ impl SiteNode {
         if let Some(id) = self.flush_timer.take() {
             ctx.cancel_timer(id);
         }
-        if self.storage.force_log() == 0 {
+        let forced = self.storage.force_log();
+        if forced == 0 {
             return;
         }
+        self.emit(
+            ctx.now(),
+            None,
+            EventKind::WalForce {
+                records: forced as u64,
+            },
+        );
         let ops = std::mem::take(&mut self.gated_on_buffer);
         if self.cfg.force_latency == qbc_simnet::Duration::ZERO {
             self.run_deferred(ctx, ops);
@@ -679,8 +814,19 @@ impl SiteNode {
             if self.storage.wal().pending_len() >= self.cfg.group_commit_max_batch {
                 self.flush_wal(ctx);
             } else if self.flush_timer.is_none() {
-                self.flush_timer =
-                    Some(ctx.set_timer(self.cfg.group_commit_window, NodeTimer::FlushWal));
+                // Adaptive sizing: stretch the window only as far as the
+                // log device's observed backlog — waiting is free while
+                // no force could start anyway — and collapse it to one
+                // tick on an idle device so light load pays almost no
+                // batching latency. Clamped by the static window, the
+                // upper bound `storage_slack` budgets for.
+                let window = if self.cfg.adaptive_commit_window {
+                    let backlog = self.wal_backlog(ctx.now());
+                    qbc_simnet::Duration(backlog.0.clamp(1, self.cfg.group_commit_window.0.max(1)))
+                } else {
+                    self.cfg.group_commit_window
+                };
+                self.flush_timer = Some(ctx.set_timer(window, NodeTimer::FlushWal));
             }
             lsn
         } else if self.cfg.force_latency.0 > 0 {
@@ -691,7 +837,9 @@ impl SiteNode {
             lsn
         } else {
             // Seed model: instant force per record.
-            self.storage.log(rec)
+            let lsn = self.storage.log(rec);
+            self.emit(ctx.now(), None, EventKind::WalForce { records: 1 });
+            lsn
         };
         // Track the live transaction's earliest record: the truncation
         // cutoff must never pass it. (`None`: the record is itself a
@@ -945,10 +1093,13 @@ impl SiteNode {
         if let Msg::VoteReq { spec } = &m {
             if self.txns[&txn].participant.state() == LocalState::Initial {
                 let scripted_no = self.cfg.vote_no_on.contains(&txn);
-                let locked = scripted_no || !self.try_lock_writeset(txn, spec);
+                let locked = scripted_no || !self.try_lock_writeset(ctx.now(), txn, spec);
                 let st = self.txns.get_mut(&txn).expect("ensured");
                 st.participant.set_vote(!locked);
             }
+        }
+        if let Msg::Vote { yes, .. } = &m {
+            self.emit(ctx.now(), Some(txn), EventKind::VoteIn { yes: *yes });
         }
 
         // The highest local version among writeset copies (reported in
@@ -1198,7 +1349,7 @@ impl SiteNode {
         }
     }
 
-    fn try_lock_writeset(&mut self, txn: TxnId, spec: &TxnSpec) -> bool {
+    fn try_lock_writeset(&mut self, now: Time, txn: TxnId, spec: &TxnSpec) -> bool {
         // No-wait 2PL: X-lock every local copy of the writeset; any
         // conflict means vote no (prevents distributed deadlock).
         let local_items: Vec<ItemId> = spec
@@ -1224,6 +1375,11 @@ impl SiteNode {
                 }
             }
         }
+        // The yes vote pins every local copy until the decision: the
+        // pin-time clock starts here.
+        for &item in &local_items {
+            self.emit(now, Some(txn), EventKind::PinStart { item });
+        }
         true
     }
 
@@ -1235,6 +1391,7 @@ impl SiteNode {
         actions: Vec<Action>,
     ) {
         for a in actions {
+            self.obs_action(ctx.now(), txn, &a);
             match a {
                 Action::Reply(m) => self.send_net(ctx, reply_to, NetMsg::Proto(m)),
                 Action::Send(to, m) => self.send_net(ctx, to, NetMsg::Proto(m)),
@@ -1301,10 +1458,12 @@ impl SiteNode {
         decision: Decision,
         commit_version: Option<Version>,
     ) {
+        let mut applied = false;
         if let Some(st) = self.txns.get_mut(&txn) {
             if st.decided.is_some() {
                 return;
             }
+            applied = true;
             st.decided = Some(decision);
             st.decided_at = Some(now);
             st.blocked = false;
@@ -1321,7 +1480,17 @@ impl SiteNode {
             }
             self.schedule_retire(now, txn);
         }
+        // Pin-time clocks stop with the release; the walk over held
+        // locks is skipped entirely when no sink is wired.
+        if self.cfg.obs.is_some() {
+            for (item, _) in self.locks.held_by(&txn) {
+                self.emit(now, Some(txn), EventKind::PinEnd { item });
+            }
+        }
         self.locks.release_all(&txn);
+        if applied {
+            self.emit(now, Some(txn), EventKind::DecisionApplied { decision });
+        }
     }
 
     fn arm_watchdog(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, txn: TxnId) {
@@ -1350,6 +1519,7 @@ impl SiteNode {
             // aborted). Outcome discovery replaces the election; the
             // watchdog re-arms, so the ask retries until answered.
             self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            self.emit(ctx.now(), Some(txn), EventKind::OutcomeDiscoveryOut);
             return;
         }
         let spec = Arc::clone(&st.spec);
@@ -1361,6 +1531,7 @@ impl SiteNode {
             .as_mut()
             .expect("just created")
             .step(ElInput::Start);
+        self.emit(ctx.now(), Some(txn), EventKind::ElectionStarted);
         self.apply_election_actions(ctx, txn, spec, actions);
     }
 
@@ -1461,6 +1632,7 @@ impl SiteNode {
             st.participant.commit_version(),
         );
         st.termination = Some(term);
+        self.emit(ctx.now(), Some(txn), EventKind::TerminationRound { round });
         self.apply_actions(ctx, txn, self.cfg.site, actions);
     }
 }
@@ -1584,7 +1756,7 @@ impl Process for SiteNode {
         self.pump(ctx);
     }
 
-    fn on_crash(&mut self, _now: Time) {
+    fn on_crash(&mut self, now: Time) {
         // Volatile state dies with the site; the WAL and item store
         // survive inside `storage` (which also drops staged-but-unforced
         // log records — the group-commit loss window).
@@ -1608,6 +1780,7 @@ impl Process for SiteNode {
         self.first_lsn.clear();
         self.checkpoint_armed = false;
         self.last_checkpoint_end = Lsn(0);
+        self.emit(now, None, EventKind::Crash);
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
@@ -1703,6 +1876,7 @@ impl Process for SiteNode {
                 for item in spec.writeset.items() {
                     if self.storage.read_item(item).is_some() {
                         let _ = self.locks.acquire(txn, item, LockMode::Exclusive);
+                        self.emit(ctx.now(), Some(txn), EventKind::PinStart { item });
                     }
                 }
             }
@@ -1825,6 +1999,11 @@ impl Process for SiteNode {
         let (txns, xcoords) = (&self.txns, &self.xcoords);
         self.first_lsn
             .retain(|t, _| txns.contains_key(t) || xcoords.contains_key(t));
+        // Emitted after the re-pins above: recovery's re-acquired locks
+        // register while the site still counts as down, so the
+        // availability tracker sees the copies stay inaccessible across
+        // the down→up edge.
+        self.emit(ctx.now(), None, EventKind::Recover);
         self.pump(ctx);
     }
 }
@@ -1860,6 +2039,7 @@ impl SiteNode {
         if expired {
             if let Some(parent) = orphan_discovery {
                 self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+                self.emit(now, Some(txn), EventKind::OutcomeDiscoveryOut);
             }
             self.apply_actions(ctx, txn, self.cfg.site, actions);
         }

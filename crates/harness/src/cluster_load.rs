@@ -80,6 +80,12 @@ pub struct ClusterLoadReport {
     pub wal_forces: u64,
     /// Mean client-observed decision latency.
     pub mean_latency: f64,
+    /// Median client-observed decision latency (bucket upper bound),
+    /// over all shards merged.
+    pub p50_latency: u64,
+    /// 99th-percentile client-observed decision latency (bucket upper
+    /// bound), over all shards merged.
+    pub p99_latency: u64,
 }
 
 /// Runs the load: `clients` sessions submit on a staggered schedule,
@@ -166,6 +172,7 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
     let _ = settled; // undecided count reports any residue
 
     let (metrics, violations) = cluster.metrics_and_violations();
+    let merged_latency = metrics.merged_latency();
     let consistent = violations.is_empty() && cluster.engine_violations().is_empty();
     let submitted: u64 = metrics.shards.iter().map(|s| s.submitted).sum();
     let committed = metrics.total_committed();
@@ -187,6 +194,8 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
         },
         wal_forces: metrics.total_wal_forces(),
         mean_latency: metrics.mean_latency(),
+        p50_latency: merged_latency.p50().0,
+        p99_latency: merged_latency.p99().0,
         metrics,
     }
 }
@@ -210,6 +219,10 @@ mod tests {
             r.submitted
         );
         assert!(r.wal_forces > 0);
+        // Quantiles of the merged latency distribution are populated
+        // and ordered.
+        assert!(r.p50_latency > 0);
+        assert!(r.p50_latency <= r.p99_latency);
     }
 
     #[test]
@@ -236,6 +249,71 @@ mod tests {
             r.committed,
             r.submitted,
             r.cross_shard
+        );
+    }
+
+    #[test]
+    fn adaptive_window_collapses_when_idle_and_still_batches_under_load() {
+        // Light load over a costly device with a wide static window:
+        // the static batcher always waits the window out, the adaptive
+        // one sizes it from the live `wal_backlog` gauge and collapses
+        // to one tick while the device idles.
+        let light = ClusterLoadConfig {
+            clients: 4,
+            txns_per_client: 3,
+            think_time: 300,
+            seed: 9,
+            cluster: ClusterConfig {
+                force_latency: Duration(3),
+                group_commit_window: Some(Duration(12)),
+                ..ClusterConfig::default()
+            }
+            .with_group_commit(),
+            ..Default::default()
+        };
+        let static_run = run_cluster_load(&light);
+        let adaptive_run = run_cluster_load(&ClusterLoadConfig {
+            cluster: light.cluster.clone().with_adaptive_commit_window(),
+            ..light.clone()
+        });
+        assert!(static_run.consistent && adaptive_run.consistent);
+        assert_eq!(adaptive_run.undecided, 0);
+        assert!(
+            adaptive_run.mean_latency < static_run.mean_latency,
+            "idle-device adaptive latency {} should beat static-window {}",
+            adaptive_run.mean_latency,
+            static_run.mean_latency
+        );
+
+        // Heavy load on the same device: backlog stretches the adaptive
+        // window back out, so forces are still amortized over many
+        // records compared with per-record forcing.
+        let heavy = ClusterLoadConfig {
+            clients: 24,
+            txns_per_client: 4,
+            think_time: 30,
+            seed: 9,
+            cluster: ClusterConfig {
+                force_latency: Duration(6),
+                ..ClusterConfig::default()
+            },
+            ..Default::default()
+        };
+        let heavy_plain = run_cluster_load(&heavy);
+        let heavy_adaptive = run_cluster_load(&ClusterLoadConfig {
+            cluster: heavy
+                .cluster
+                .clone()
+                .with_group_commit()
+                .with_adaptive_commit_window(),
+            ..heavy.clone()
+        });
+        assert!(heavy_plain.consistent && heavy_adaptive.consistent);
+        assert!(
+            heavy_adaptive.wal_forces < heavy_plain.wal_forces,
+            "adaptive batching {} should amortize vs per-record {}",
+            heavy_adaptive.wal_forces,
+            heavy_plain.wal_forces
         );
     }
 

@@ -1,0 +1,445 @@
+//! The metrics registry: a validated, ordered collection of counters,
+//! gauges and histograms with two render targets — Prometheus text
+//! exposition and a deterministic JSON snapshot.
+//!
+//! The registry is *snapshot-shaped*: producers build a fresh registry
+//! from their current state at export time instead of mutating shared
+//! registered handles. That keeps the hot paths free of instrument
+//! lookups and makes the JSON export bit-reproducible under the
+//! deterministic simulator (insertion order is the export order).
+
+use crate::hist::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Why a metric was rejected by [`Registry::register`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is not `snake_case` (`[a-z][a-z0-9_]*`).
+    BadName(String),
+    /// A metric with the same name and label set is already registered.
+    Duplicate(String),
+    /// Two metrics share a name but disagree on type (Prometheus
+    /// forbids it; one `TYPE` line per name).
+    TypeMismatch(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::BadName(n) => write!(f, "metric name {n:?} is not snake_case"),
+            RegistryError::Duplicate(n) => write!(f, "duplicate metric {n:?}"),
+            RegistryError::TypeMismatch(n) => {
+                write!(f, "metric {n:?} registered with two different types")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The value of one metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// A bucketed distribution (boxed: a histogram is an order of
+    /// magnitude larger than the scalar variants).
+    Histogram(Box<LatencyHistogram>),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: name, optional `(key, value)` labels, help
+/// text, and a value.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Snake-case metric name.
+    pub name: String,
+    /// Label pairs, rendered in the given order.
+    pub labels: Vec<(String, String)>,
+    /// One-line description (the Prometheus `HELP` line).
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A validated, ordered metric collection.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+}
+
+fn is_snake_case(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a metric, rejecting non-snake-case names, duplicate
+    /// `(name, labels)` pairs, and same-name type conflicts.
+    pub fn register(&mut self, m: Metric) -> Result<(), RegistryError> {
+        if !is_snake_case(&m.name) {
+            return Err(RegistryError::BadName(m.name));
+        }
+        for existing in &self.metrics {
+            if existing.name == m.name {
+                if existing.value.type_name() != m.value.type_name() {
+                    return Err(RegistryError::TypeMismatch(m.name));
+                }
+                if existing.labels == m.labels {
+                    return Err(RegistryError::Duplicate(m.name));
+                }
+            }
+        }
+        self.metrics.push(m);
+        Ok(())
+    }
+
+    /// Registers a counter (panics on a name the producer got wrong —
+    /// producer names are compile-time constants, so this is a bug, not
+    /// input).
+    pub fn counter(&mut self, name: &str, labels: &[(&str, String)], help: &str, v: u64) {
+        self.register(Metric {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).into(), v.clone()))
+                .collect(),
+            help: help.into(),
+            value: MetricValue::Counter(v),
+        })
+        .expect("invalid counter registration");
+    }
+
+    /// Registers a gauge (same contract as [`Registry::counter`]).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, String)], help: &str, v: f64) {
+        self.register(Metric {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).into(), v.clone()))
+                .collect(),
+            help: help.into(),
+            value: MetricValue::Gauge(v),
+        })
+        .expect("invalid gauge registration");
+    }
+
+    /// Registers a histogram (same contract as [`Registry::counter`]).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, String)],
+        help: &str,
+        h: &LatencyHistogram,
+    ) {
+        self.register(Metric {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).into(), v.clone()))
+                .collect(),
+            help: help.into(),
+            value: MetricValue::Histogram(Box::new(h.clone())),
+        })
+        .expect("invalid histogram registration");
+    }
+
+    /// The registered metrics, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders the Prometheus text exposition format (`HELP`/`TYPE`
+    /// once per metric name, histograms as cumulative `_bucket{le=}`
+    /// series plus `_sum`/`_count`).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_str(&m.labels, &[]), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        label_str(&m.labels, &[]),
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (le, n) in h.buckets() {
+                        cum += n;
+                        let le = le.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            label_str(&m.labels, &[("le", &le)]),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_str(&m.labels, &[("le", "+Inf")]),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        label_str(&m.labels, &[]),
+                        h.sum()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_str(&m.labels, &[]),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a deterministic JSON snapshot: metrics in insertion
+    /// order, histograms with count/sum/p50/p99/max and their
+    /// `[upper_bound, count]` buckets.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"labels\":{{", m.name);
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            let _ = write!(out, "}},\"type\":\"{}\",", m.value.type_name());
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"value\":{}", fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        fmt_f64(h.mean()),
+                        h.p50().0,
+                        h.p99().0,
+                        h.max().0
+                    );
+                    for (j, (le, n)) in h.buckets().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{le},{n}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn label_str(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{v}\"");
+    }
+    for (k, v) in extra {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{v}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Formats a float the same way on every platform: integers without a
+/// fraction, everything else with enough digits to round-trip.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbc_simnet::Duration;
+
+    #[test]
+    fn rejects_non_snake_case_names() {
+        let mut r = Registry::new();
+        for bad in [
+            "CamelCase",
+            "kebab-case",
+            "1leading",
+            "",
+            "dotted.name",
+            "UPPER",
+        ] {
+            let err = r.register(Metric {
+                name: bad.into(),
+                labels: vec![],
+                help: "h".into(),
+                value: MetricValue::Counter(0),
+            });
+            assert_eq!(err, Err(RegistryError::BadName(bad.into())), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_name_label_pairs() {
+        let mut r = Registry::new();
+        let m = |l: &str| Metric {
+            name: "qbc_msgs_total".into(),
+            labels: vec![("label".into(), l.into())],
+            help: "h".into(),
+            value: MetricValue::Counter(1),
+        };
+        r.register(m("a")).unwrap();
+        r.register(m("b")).unwrap(); // same name, different labels: fine
+        assert_eq!(
+            r.register(m("a")),
+            Err(RegistryError::Duplicate("qbc_msgs_total".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_same_name_different_type() {
+        let mut r = Registry::new();
+        r.counter("qbc_thing", &[], "h", 1);
+        let err = r.register(Metric {
+            name: "qbc_thing".into(),
+            labels: vec![("x".into(), "y".into())],
+            help: "h".into(),
+            value: MetricValue::Gauge(1.0),
+        });
+        assert_eq!(err, Err(RegistryError::TypeMismatch("qbc_thing".into())));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_three_types() {
+        let mut r = Registry::new();
+        r.counter(
+            "qbc_commits_total",
+            &[("shard", "0".to_string())],
+            "commits",
+            7,
+        );
+        r.gauge("qbc_queue_depth", &[], "depth", 3.0);
+        let mut h = LatencyHistogram::new();
+        h.record(Duration(3));
+        h.record(Duration(5));
+        r.histogram("qbc_latency_ticks", &[], "latency", &h);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE qbc_commits_total counter"), "{text}");
+        assert!(text.contains("qbc_commits_total{shard=\"0\"} 7"), "{text}");
+        assert!(text.contains("qbc_queue_depth 3"), "{text}");
+        assert!(
+            text.contains("qbc_latency_ticks_bucket{le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qbc_latency_ticks_bucket{le=\"8\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qbc_latency_ticks_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("qbc_latency_ticks_sum 8"), "{text}");
+        assert!(text.contains("qbc_latency_ticks_count 2"), "{text}");
+    }
+
+    #[test]
+    fn help_and_type_lines_appear_once_per_name() {
+        let mut r = Registry::new();
+        r.counter("qbc_commits_total", &[("shard", "0".into())], "commits", 1);
+        r.counter("qbc_commits_total", &[("shard", "1".into())], "commits", 2);
+        let text = r.prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE qbc_commits_total").count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_ordered() {
+        let build = || {
+            let mut r = Registry::new();
+            r.counter("qbc_b_total", &[], "b", 2);
+            r.counter("qbc_a_total", &[], "a", 1);
+            r.json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        // Insertion order, not alphabetical.
+        assert!(
+            a.find("qbc_b_total").unwrap() < a.find("qbc_a_total").unwrap(),
+            "{a}"
+        );
+    }
+}

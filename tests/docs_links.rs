@@ -80,7 +80,12 @@ fn all_relative_doc_links_resolve() {
 #[test]
 fn the_docs_tree_is_complete() {
     let docs = repo_root().join("docs");
-    for page in ["architecture.md", "wal-format.md", "testing.md"] {
+    for page in [
+        "architecture.md",
+        "wal-format.md",
+        "testing.md",
+        "observability.md",
+    ] {
         let path = docs.join(page);
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("docs page {page} missing: {e}"));
@@ -103,11 +108,15 @@ fn docs_references_to_code_paths_exist() {
         "crates/cluster/tests/file_wal.rs",
         "crates/cluster/tests/xshard_props.rs",
         "crates/core/src/wal_codec.rs",
+        "crates/cluster/tests/obs_blocking.rs",
         "crates/bench/src/bin/e13_cluster_throughput.rs",
         "crates/bench/src/bin/e14_sim_throughput.rs",
         "crates/bench/src/bin/e15_file_wal.rs",
+        "crates/bench/src/bin/e16_protocol_metrics.rs",
         "BENCH_e14.json",
         "BENCH_e15.json",
+        "BENCH_e16.json",
+        "BENCH_e16_flightdump.txt",
     ] {
         assert!(
             root.join(rel).exists(),
