@@ -48,6 +48,7 @@
 
 mod config;
 mod harvest;
+pub mod mc_harness;
 mod metrics;
 mod shard;
 mod sim_cluster;

@@ -73,6 +73,11 @@ pub struct Coordinator {
     /// One tally per writeset item (QC1/QC2 only; built at prepare).
     tallies: Vec<ItemTally>,
     commit_version: Option<Version>,
+    /// Seeded mutation for checker validation: accept one PC-ACK less
+    /// than the write quorum at the QC1 commit point. Never set outside
+    /// tests — it re-opens the abort-quorum window the paper's rule
+    /// closes, and the model checker exists to prove it would notice.
+    weaken_qc1: bool,
 }
 
 impl Coordinator {
@@ -91,7 +96,15 @@ impl Coordinator {
             pc_acks: BTreeSet::new(),
             tallies: Vec::new(),
             commit_version: None,
+            weaken_qc1: false,
         }
+    }
+
+    /// Installs the seeded QC1 mutation (see the field doc). Test-only
+    /// by convention; the model-check suite proves it is caught.
+    pub fn with_weakened_qc1(mut self) -> Self {
+        self.weaken_qc1 = true;
+        self
     }
 
     /// Snapshots the per-item quorum arithmetic for the ack round. An
@@ -328,7 +341,15 @@ impl Coordinator {
             // PC-ACKs ensures that an abort quorum can never be formed".
             // An empty writeset has no item below quorum, matching the
             // catalog-walk semantics (`all` over nothing is true).
-            ProtocolKind::QuorumCommit1 => self.tallies.iter().all(|t| t.acked >= t.write_quorum),
+            ProtocolKind::QuorumCommit1 => {
+                // Seeded mutation (`weaken_qc1`): one ack short of the
+                // quorum "counts" — exactly the off-by-one the paper's
+                // abort-quorum argument forbids.
+                let slack = u32::from(self.weaken_qc1);
+                self.tallies
+                    .iter()
+                    .all(|t| t.acked + slack >= t.write_quorum)
+            }
             // QC2: r(x) PC-ACK votes for some x.
             ProtocolKind::QuorumCommit2 => self.tallies.iter().any(|t| t.acked >= t.read_quorum),
         }
@@ -418,6 +439,25 @@ impl Coordinator {
             }
             ProtocolKind::TwoPhase => Vec::new(),
         }
+    }
+}
+
+/// Canonical state hash for the model checker's visited-set.
+///
+/// Hashes the live protocol state — phase, recorded votes, PC-ACK set,
+/// quorum tallies and the chosen commit version — all held in ordered
+/// containers, so the rendering is canonical. The spec is excluded: it
+/// is fixed per transaction id, which the node-level fingerprint hashes.
+impl qbc_simnet::Fingerprint for Coordinator {
+    fn fingerprint(&self, _now: qbc_simnet::Time, h: &mut qbc_simnet::FastHasher) {
+        use std::hash::Hasher;
+        h.write(
+            format!(
+                "{:?}|{:?}|{:?}|{:?}|{:?}",
+                self.phase, self.votes, self.pc_acks, self.tallies, self.commit_version
+            )
+            .as_bytes(),
+        );
     }
 }
 

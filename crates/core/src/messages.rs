@@ -2,7 +2,7 @@
 
 use crate::states::LocalState;
 use crate::types::{Decision, TxnId, TxnSpec};
-use qbc_simnet::Label;
+use qbc_simnet::{Label, SiteId};
 use qbc_votes::Version;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -108,6 +108,11 @@ pub enum Msg {
         /// The branch's transaction spec (one shard's slice of the
         /// cross-shard writeset; shared like [`Msg::VoteReq`]'s).
         spec: Arc<TxnSpec>,
+        /// Coordinators of the *other* branches. An orphaned branch asks
+        /// them for the outcome alongside the parent: any branch that
+        /// learned the top-level decision can answer, so a crashed
+        /// parent no longer leaves the shard blocked until recovery.
+        siblings: Vec<SiteId>,
     },
     /// Branch coordinator → cross-shard coordinator: this shard's
     /// resource-manager vote. A yes means the branch reached its
@@ -150,7 +155,7 @@ impl Msg {
         match self {
             Msg::VoteReq { spec } => spec.id,
             Msg::StateReq { spec, .. } => spec.id,
-            Msg::XBranchReq { spec } => spec.id,
+            Msg::XBranchReq { spec, .. } => spec.id,
             Msg::Vote { txn, .. }
             | Msg::PrepareCommit { txn, .. }
             | Msg::PcAck { txn }
@@ -244,7 +249,10 @@ mod tests {
                 decision: Decision::Commit,
                 commit_version: Some(Version(1)),
             },
-            Msg::XBranchReq { spec: spec() },
+            Msg::XBranchReq {
+                spec: spec(),
+                siblings: vec![SiteId(3)],
+            },
             Msg::XVote {
                 txn: TxnId(7),
                 yes: true,

@@ -391,7 +391,10 @@ impl Participant {
         if self.spec.is_none() {
             self.spec = Some(Arc::clone(spec));
         }
-        vec![Action::Reply(Msg::StateRep {
+        // An unvoted site answering a termination STATE-REQ casts a
+        // veto, and the veto must be irrevocable *before* it is spoken.
+        let mut actions = self.veto_abort();
+        actions.push(Action::Reply(Msg::StateRep {
             txn: self.txn,
             round,
             state: self.state,
@@ -400,7 +403,33 @@ impl Participant {
             } else {
                 None
             },
-        })]
+        }));
+        actions
+    }
+
+    /// The unvoted-site veto, made durable and irrevocable: a
+    /// participant still in `q` that engages in the termination
+    /// protocol — answering a `STATE-REQ`, or starting a round as an
+    /// elected leader — contributes an abort-leaning state to some
+    /// leader's view, so it must never vote yes afterwards. Model
+    /// checking found the window this closes: reply (or seed) `q`,
+    /// *then* receive the late `VOTE-REQ` and vote yes — the leader
+    /// aborts on the veto while the coordinator commits on the vote.
+    /// Logging `VotedNo` before the reply leaves closes the crash
+    /// window too (a recovered site replays the no-vote instead of
+    /// forgetting it ever vetoed). No-op in any other state.
+    pub fn veto_abort(&mut self) -> Vec<Action> {
+        if self.state != LocalState::Initial {
+            return Vec::new();
+        }
+        self.set_state(LocalState::Aborted);
+        vec![
+            Action::Log(LogRecord::VotedNo { txn: self.txn }),
+            Action::ApplyAndDecide {
+                decision: Decision::Abort,
+                commit_version: None,
+            },
+        ]
     }
 
     /// The coordinator has been silent for `3T` after our last message to
@@ -411,6 +440,31 @@ impl Participant {
         } else {
             vec![Action::RequestTermination { txn: self.txn }]
         }
+    }
+}
+
+/// Canonical state hash for the model checker's visited-set.
+///
+/// Hashes the behavioural state — local protocol state, adopted commit
+/// version, the vote this participant will cast, whether it has seen
+/// the spec, and the conflicting-command violation flag. The
+/// `transitions` audit trail is deliberately excluded: it is pure
+/// history, and hashing it would make every distinct path hash distinct,
+/// destroying the state merging that keeps exhaustive search tractable.
+impl qbc_simnet::Fingerprint for Participant {
+    fn fingerprint(&self, _now: qbc_simnet::Time, h: &mut qbc_simnet::FastHasher) {
+        use std::hash::Hasher;
+        h.write(
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}",
+                self.state,
+                self.commit_version,
+                self.cfg,
+                self.spec.is_some(),
+                self.conflicting_command
+            )
+            .as_bytes(),
+        );
     }
 }
 
@@ -678,7 +732,7 @@ mod tests {
     }
 
     #[test]
-    fn state_req_teaches_spec_to_initial_site() {
+    fn state_req_teaches_spec_and_vetoes_an_unvoted_site() {
         let mut p = fresh();
         assert!(p.spec().is_none());
         let out = p.on_msg(
@@ -690,11 +744,33 @@ mod tests {
             Version(0),
         );
         assert!(p.spec().is_some());
+        // The veto is durable and irrevocable *before* the reply: the
+        // no-vote is logged, the local abort applied, and the reported
+        // state is already `a` — never `q` followed by a later yes
+        // (the commit/abort split the model checker found).
+        assert!(matches!(out[0], Action::Log(LogRecord::VotedNo { .. })));
+        assert!(matches!(
+            out[1],
+            Action::ApplyAndDecide {
+                decision: Decision::Abort,
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[2],
+            Action::Reply(Msg::StateRep {
+                state: LocalState::Aborted,
+                round: 1,
+                ..
+            })
+        ));
+        assert_eq!(p.state(), LocalState::Aborted);
+        // A late VOTE-REQ now draws the decided-abort reply, not a yes.
+        let out = p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
         assert!(matches!(
             out[0],
-            Action::Reply(Msg::StateRep {
-                state: LocalState::Initial,
-                round: 1,
+            Action::Reply(Msg::Decided {
+                decision: Decision::Abort,
                 ..
             })
         ));

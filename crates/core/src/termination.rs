@@ -333,6 +333,32 @@ impl Termination {
     }
 }
 
+/// Canonical state hash for the model checker's visited-set.
+///
+/// Hashes the attempt round (stale-round filtering depends on it), the
+/// phase, the collected state view, the learned PC version, the quorum
+/// base, the phase-3 ack set and the attempted direction — every field
+/// that steers the rule evaluation. All containers are ordered, so the
+/// rendering is canonical.
+impl qbc_simnet::Fingerprint for Termination {
+    fn fingerprint(&self, _now: qbc_simnet::Time, h: &mut qbc_simnet::FastHasher) {
+        use std::hash::Hasher;
+        h.write(
+            format!(
+                "{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+                self.round,
+                self.phase,
+                self.view,
+                self.pc_version,
+                self.base,
+                self.acks,
+                self.attempt
+            )
+            .as_bytes(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,10 +124,20 @@ impl XTxnCoordinator {
             branches: self.branches.clone(),
         }));
         for b in &self.branches {
+            // Each branch learns its siblings' coordinators so an
+            // orphaned branch can ask *them* for the outcome when this
+            // parent is down (cooperative outcome discovery).
+            let siblings = self
+                .branches
+                .iter()
+                .map(|o| o.coordinator)
+                .filter(|&c| c != b.coordinator)
+                .collect();
             actions.push(Action::Send(
                 b.coordinator,
                 Msg::XBranchReq {
                     spec: Arc::clone(b),
+                    siblings,
                 },
             ));
         }
@@ -240,6 +250,18 @@ impl XTxnCoordinator {
     }
 }
 
+/// Canonical state hash for the model checker's visited-set.
+///
+/// Hashes the phase and the per-branch votes (an ordered map). The
+/// branch specs are excluded: they are fixed for the transaction's
+/// lifetime and the node-level fingerprint covers the transaction id.
+impl qbc_simnet::Fingerprint for XTxnCoordinator {
+    fn fingerprint(&self, _now: qbc_simnet::Time, h: &mut qbc_simnet::FastHasher) {
+        use std::hash::Hasher;
+        h.write(format!("{:?}|{:?}", self.phase, self.votes).as_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,14 +291,20 @@ mod tests {
         let mut x = engine();
         let actions = x.start();
         assert!(matches!(actions[0], Action::Log(LogRecord::XStart { .. })));
-        assert!(matches!(
-            actions[1],
-            Action::Send(SiteId(0), Msg::XBranchReq { .. })
-        ));
-        assert!(matches!(
-            actions[2],
-            Action::Send(SiteId(3), Msg::XBranchReq { .. })
-        ));
+        // Each solicitation names the *other* branch coordinators so an
+        // orphaned branch can run cooperative outcome discovery.
+        match &actions[1] {
+            Action::Send(SiteId(0), Msg::XBranchReq { siblings, .. }) => {
+                assert_eq!(siblings, &vec![SiteId(3)]);
+            }
+            other => panic!("expected X-BRANCH-REQ to site 0, got {other:?}"),
+        }
+        match &actions[2] {
+            Action::Send(SiteId(3), Msg::XBranchReq { siblings, .. }) => {
+                assert_eq!(siblings, &vec![SiteId(0)]);
+            }
+            other => panic!("expected X-BRANCH-REQ to site 3, got {other:?}"),
+        }
         assert!(matches!(
             actions[3],
             Action::SetTimer(TimerKind::XVoteCollection { .. })

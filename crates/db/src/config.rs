@@ -113,6 +113,12 @@ pub struct NodeConfig {
     /// path — and both golden digests — are byte-identical to the
     /// uninstrumented build.
     pub obs: Option<Arc<Obs>>,
+    /// Seeded protocol mutation for model-checker validation: this
+    /// site's coordinators accept one PC-ACK less than the QC1 write
+    /// quorum ([`qbc_core::Coordinator::with_weakened_qc1`]). Never set
+    /// outside tests — the model-check suite proves the checker catches
+    /// the resulting atomicity violation.
+    pub mutation_weaken_qc1: bool,
 }
 
 impl NodeConfig {
@@ -137,7 +143,15 @@ impl NodeConfig {
             wal_backend: WalBackendConfig::Memory,
             checkpoint_interval: None,
             obs: None,
+            mutation_weaken_qc1: false,
         }
+    }
+
+    /// Installs the seeded QC1 commit-quorum mutation (builder style;
+    /// see [`NodeConfig::mutation_weaken_qc1`]).
+    pub fn with_weakened_qc1(mut self) -> Self {
+        self.mutation_weaken_qc1 = true;
+        self
     }
 
     /// Selects the file-backed WAL rooted at `dir` (4 MiB segments,

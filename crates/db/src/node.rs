@@ -60,7 +60,7 @@ pub enum ReadResult {
     Unavailable,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ReadCollect {
     item: ItemId,
     votes: u32,
@@ -69,7 +69,7 @@ struct ReadCollect {
 }
 
 /// Per-transaction state hosted at this site.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TxnState {
     spec: Arc<TxnSpec>,
     participant: Participant,
@@ -88,6 +88,13 @@ struct TxnState {
     blocked: bool,
     termination_rounds: u64,
     started_at: Time,
+    /// Coordinators of the sibling branches of a cross-shard
+    /// transaction (from `X-BRANCH-REQ`). Outcome discovery asks them
+    /// alongside the parent: any branch that learned the top-level
+    /// decision can answer, so a crashed parent no longer blocks this
+    /// shard until recovery. Volatile — a branch coordinator that
+    /// crashes falls back to parent-only discovery.
+    x_siblings: Vec<SiteId>,
 }
 
 impl TxnState {
@@ -153,7 +160,7 @@ pub struct Violation {
 /// the "logged before told" half of the durability contract. Protocol
 /// messages and decision applications queue here while their log
 /// records sit in the group-commit buffer or an in-flight force.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum DeferredOp {
     Send {
         to: SiteId,
@@ -173,6 +180,12 @@ enum DeferredOp {
 }
 
 /// One full database site.
+///
+/// `Clone` is how the model checker branches on a choice point: it
+/// duplicates the entire site (engines, lock table, storage). Only
+/// meaningful on the in-memory WAL backend — cloning a site with a
+/// file-backed log panics (see [`qbc_storage::EitherWal`]).
+#[derive(Clone)]
 pub struct SiteNode {
     cfg: NodeConfig,
     catalog: Arc<Catalog>,
@@ -347,6 +360,16 @@ impl SiteNode {
         self.txns.get(&txn).map(|t| t.blocked).unwrap_or(false)
     }
 
+    /// The commit version this site associates with its decision for
+    /// `txn`, whichever role learned it (participant command, coordinator
+    /// decision, engine-less `X-DECIDE` adoption, or a retired record).
+    pub fn commit_version_of(&self, txn: TxnId) -> Option<Version> {
+        self.txns
+            .get(&txn)
+            .and_then(|t| t.commit_version())
+            .or_else(|| self.retired.get(&txn).and_then(|r| r.commit_version))
+    }
+
     /// All transactions this site knows about, in id order.
     pub fn known_txns(&self) -> Vec<TxnId> {
         let mut out: Vec<TxnId> = self.txns.keys().copied().collect();
@@ -498,6 +521,9 @@ impl SiteNode {
         state.started_at = ctx.now();
         self.emit(ctx.now(), Some(txn), EventKind::Submitted { protocol });
         let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
+        if self.cfg.mutation_weaken_qc1 {
+            coord = coord.with_weakened_qc1();
+        }
         let actions = coord.start();
         self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
         self.apply_actions(ctx, txn, self.cfg.site, actions);
@@ -539,7 +565,12 @@ impl SiteNode {
 
     /// Starts coordinating one branch of a cross-shard transaction
     /// (`X-BRANCH-REQ` arrived, possibly self-addressed).
-    fn start_branch(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, spec: &Arc<TxnSpec>) {
+    fn start_branch(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        spec: &Arc<TxnSpec>,
+        siblings: &[SiteId],
+    ) {
         debug_assert_eq!(spec.coordinator, self.cfg.site, "misrouted X-BRANCH-REQ");
         debug_assert!(self.cfg.validate_for(spec.protocol).is_ok());
         let txn = spec.id;
@@ -549,10 +580,17 @@ impl SiteNode {
         let state = self.ensure_txn(ctx.now(), spec);
         state.started_at = ctx.now();
         let st = self.txns.get_mut(&txn).expect("just ensured");
+        // Remember the sibling coordinators even on a duplicate request:
+        // a retried solicitation may be the first one that arrives after
+        // this entry was created by an in-shard message.
+        st.x_siblings = siblings.to_vec();
         if st.coordinator.is_some() || st.decided.is_some() {
             return; // duplicate request
         }
         let mut coord = Coordinator::new(Arc::clone(spec), self.cfg.site_votes.clone());
+        if self.cfg.mutation_weaken_qc1 {
+            coord = coord.with_weakened_qc1();
+        }
         let actions = coord.start();
         st.coordinator = Some(coord);
         self.apply_actions(ctx, txn, self.cfg.site, actions);
@@ -697,6 +735,7 @@ impl SiteNode {
             blocked: false,
             termination_rounds: 0,
             started_at: now,
+            x_siblings: Vec::new(),
         })
     }
 
@@ -1015,8 +1054,8 @@ impl SiteNode {
         // the branch machinery, not the per-transaction participant
         // table (and must work even when that table knows nothing yet).
         match &m {
-            Msg::XBranchReq { spec } => {
-                self.start_branch(ctx, spec);
+            Msg::XBranchReq { spec, siblings } => {
+                self.start_branch(ctx, spec, siblings);
                 return;
             }
             Msg::XVote {
@@ -1046,6 +1085,28 @@ impl SiteNode {
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                 } else if let Some(xr) = self.xretired.get(&txn) {
                     let reply = xr.xdecide_for(from, txn);
+                    self.send_net(ctx, from, NetMsg::Proto(reply));
+                } else if let Some(decision) = self
+                    .txns
+                    .get(&txn)
+                    .and_then(|st| st.decided)
+                    .or_else(|| self.retired.get(&txn).map(|r| r.decision))
+                {
+                    // Cooperative discovery: not the parent, but a
+                    // decided branch of the same transaction (a branch
+                    // only ever decides with the top-level outcome —
+                    // via the parent's X-DECIDE or by aborting before
+                    // voting yes, which forces a top-level abort). A
+                    // sibling cannot know the asker's *branch* commit
+                    // version, so the answer carries none; the asker's
+                    // engine keeps its own held version, and an
+                    // engine-less asker falls back to its locally
+                    // learned PC version.
+                    let reply = Msg::XDecide {
+                        txn,
+                        decision,
+                        commit_version: None,
+                    };
                     self.send_net(ctx, from, NetMsg::Proto(reply));
                 }
                 return;
@@ -1201,7 +1262,7 @@ impl SiteNode {
         let site = self.cfg.site;
         enum Route {
             Engine(Vec<Action>),
-            Rebroadcast(Arc<TxnSpec>),
+            Rebroadcast(Arc<TxnSpec>, Option<Version>),
             Participant(Vec<Action>),
             Ignore,
         }
@@ -1213,7 +1274,11 @@ impl SiteNode {
                 if let Some(c) = st.coordinator.as_mut() {
                     Route::Engine(c.on_x_decide(decision, commit_version))
                 } else if st.spec.coordinator == site {
-                    Route::Rebroadcast(Arc::clone(&st.spec))
+                    // The parent's echo carries the branch version; a
+                    // sibling's answer does not — fall back to the
+                    // locally learned PC version.
+                    let v = commit_version.or(st.participant.commit_version());
+                    Route::Rebroadcast(Arc::clone(&st.spec), v)
                 } else {
                     // A discovering participant: obey the command. The
                     // version falls back to the locally learned PC
@@ -1243,15 +1308,23 @@ impl SiteNode {
                 self.apply_actions(ctx, txn, self.cfg.site, actions);
                 self.adopt_coordinator_decision(ctx.now(), txn);
             }
-            Route::Rebroadcast(spec) => {
+            Route::Rebroadcast(spec, version) => {
                 // Recovered branch coordinator without an engine:
                 // re-issue the in-shard command (idempotent at every
                 // receiver; self-addressed copy terminates the local
                 // participant).
                 let msg = match decision {
-                    Decision::Commit => Msg::Commit {
-                        txn,
-                        commit_version: commit_version.expect("parent echoes branch version"),
+                    Decision::Commit => match version {
+                        Some(v) => Msg::Commit {
+                            txn,
+                            commit_version: v,
+                        },
+                        // A sibling's versionless commit answer with no
+                        // local PC version either: the in-shard command
+                        // cannot be built yet. Drop it — the watchdog
+                        // re-arms, and the parent's echo (which carries
+                        // the version) answers a later retry.
+                        None => return,
                     },
                     Decision::Abort => Msg::Abort { txn },
                 };
@@ -1262,7 +1335,7 @@ impl SiteNode {
                     if let Some(st) = self.txns.get_mut(&txn) {
                         st.decided = Some(decision);
                         st.decided_at = Some(ctx.now());
-                        st.decided_version = commit_version;
+                        st.decided_version = version;
                     }
                     self.schedule_retire(ctx.now(), txn);
                 }
@@ -1518,7 +1591,13 @@ impl SiteNode {
             // decision (e.g. a PC quorum committing a branch the parent
             // aborted). Outcome discovery replaces the election; the
             // watchdog re-arms, so the ask retries until answered.
-            self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            // Sibling branch coordinators are asked alongside the
+            // parent — any decided branch can relay the outcome, so a
+            // crashed parent no longer blocks until recovery.
+            let targets = discovery_targets(parent, &st.x_siblings, self.cfg.site);
+            for to in targets {
+                self.send_net(ctx, to, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            }
             self.emit(ctx.now(), Some(txn), EventKind::OutcomeDiscoveryOut);
             return;
         }
@@ -1620,6 +1699,17 @@ impl SiteNode {
         if st.decided.is_some() {
             return;
         }
+        // An elected leader that never voted seeds its own `q` state
+        // into the round's view — a veto, which must be durable and
+        // irrevocable before the round runs (see
+        // `Participant::veto_abort`).
+        let veto = st.participant.veto_abort();
+        if !veto.is_empty() {
+            self.apply_actions(ctx, txn, self.cfg.site, veto);
+        }
+        let Some(st) = self.txns.get_mut(&txn) else {
+            return;
+        };
         st.termination_rounds += 1;
         let round = st.termination_rounds;
         let kind = qbc_core::termination_kind_for(st.spec.protocol, self.cfg.site_votes.as_ref());
@@ -1900,6 +1990,9 @@ impl Process for SiteNode {
                     blocked: false,
                     termination_rounds: 0,
                     started_at: ctx.now(),
+                    // Sibling knowledge is volatile: a recovered branch
+                    // falls back to parent-only outcome discovery.
+                    x_siblings: Vec::new(),
                 },
             );
             if decided.is_none() {
@@ -2024,9 +2117,13 @@ impl SiteNode {
                     let actions = st.participant.on_coordinator_silent();
                     // A held branch coordinator that holds no copies has
                     // a participant still in `q` (which stays quiet):
-                    // it must still discover the cross-shard outcome.
+                    // it must still discover the cross-shard outcome —
+                    // from the parent, and cooperatively from sibling
+                    // branch coordinators.
                     let discovery = if actions.is_empty() && st.spec.coordinator == site {
-                        st.spec.parent
+                        st.spec
+                            .parent
+                            .map(|p| discovery_targets(p, &st.x_siblings, site))
                     } else {
                         None
                     };
@@ -2037,8 +2134,10 @@ impl SiteNode {
             }
         };
         if expired {
-            if let Some(parent) = orphan_discovery {
-                self.send_net(ctx, parent, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+            if let Some(targets) = orphan_discovery {
+                for to in targets {
+                    self.send_net(ctx, to, NetMsg::Proto(Msg::XOutcomeReq { txn }));
+                }
                 self.emit(now, Some(txn), EventKind::OutcomeDiscoveryOut);
             }
             self.apply_actions(ctx, txn, self.cfg.site, actions);
@@ -2046,6 +2145,149 @@ impl SiteNode {
         // Re-arm while undecided (drives the re-entrant retry loop).
         self.arm_watchdog(ctx, txn);
         self.pump(ctx);
+    }
+}
+
+/// Who an orphaned branch asks for the cross-shard outcome: the parent
+/// first, then every sibling branch coordinator (cooperative
+/// discovery), skipping the parent (no duplicate ask when a sibling's
+/// coordinator *is* the parent's site) and this site itself.
+fn discovery_targets(parent: SiteId, siblings: &[SiteId], this: SiteId) -> Vec<SiteId> {
+    let mut targets = vec![parent];
+    targets.extend(
+        siblings
+            .iter()
+            .copied()
+            .filter(|&s| s != parent && s != this),
+    );
+    targets
+}
+
+/// Canonical whole-site state hash for the model checker's visited-set.
+///
+/// Canonicalisation rules:
+///
+/// * hash-map tables (`txns`, `xcoords`, `retired`, `xretired`,
+///   `first_lsn`) are sorted by key first — their iteration order is
+///   insertion history, not state;
+/// * absolute timestamps are hashed *relative* to `now`
+///   (`last_coord_contact` feeds the watchdog's `now.since(..)`
+///   comparison; `wal_free_at` is the log device's idle point), so
+///   states that differ only by a clock translation merge;
+/// * pure history is excluded: the participant's transition audit
+///   trail, the lock manager's activity counters, `started_at`
+///   (metrics-only), force/batch counters and the spare-buffer cache —
+///   hashing any of it would make every distinct path hash distinct and
+///   destroy the merging that keeps exhaustive search tractable.
+impl qbc_simnet::Fingerprint for SiteNode {
+    fn fingerprint(&self, now: Time, h: &mut qbc_simnet::FastHasher) {
+        use std::fmt::Write as _;
+        use std::hash::Hasher as _;
+        let mut s = String::with_capacity(1024);
+        // Durable half: item store, then the retained + pending log.
+        // Log content is state (recovery replays it), and per-site
+        // record order is fixed by the site's own event order, so
+        // hashing it does not break cross-site delivery commutation.
+        for item in self.storage.items() {
+            let copy = self.storage.read_item(item);
+            let _ = write!(s, "i{item:?}={copy:?};");
+        }
+        let wal = self.storage.wal();
+        let _ = write!(s, "|wal@{:?}", wal.start_lsn());
+        for r in wal.records() {
+            let _ = write!(s, "{r:?};");
+        }
+        let _ = write!(s, "|pend{}", wal.pending_len());
+        // Volatile half: lock table (stats-free snapshot), reads,
+        // violations, the local self-delivery queue (empty between
+        // events) and the durability-barrier machinery.
+        let _ = write!(s, "|locks{:?}", self.locks.table_snapshot());
+        let _ = write!(s, "|reads{:?}", self.reads);
+        let _ = write!(s, "|viol{:?}", self.violations);
+        let _ = write!(s, "|lq{:?}", self.local_queue);
+        let _ = write!(s, "|dev{}", self.wal_free_at.since(now).0);
+        let _ = write!(s, "|gated{:?}", self.gated_on_buffer);
+        for ops in self.inflight_forces.values() {
+            let _ = write!(s, "|inflight{ops:?}");
+        }
+        let _ = write!(s, "|flush{}", self.flush_timer.is_some());
+        let _ = write!(
+            s,
+            "|ckpt{}@{:?}",
+            self.checkpoint_armed, self.last_checkpoint_end
+        );
+        h.write(s.as_bytes());
+        // Per-transaction engines, sorted by id.
+        let mut ids: Vec<TxnId> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let st = self.txns.get(&id).expect("sorted key");
+            let mut t = format!("t{id:?}");
+            st.participant.fingerprint(now, h);
+            if let Some(c) = &st.coordinator {
+                c.fingerprint(now, h);
+            }
+            if let Some(term) = &st.termination {
+                term.fingerprint(now, h);
+            }
+            if let Some(e) = &st.elector {
+                e.fingerprint(now, h);
+            }
+            let _ = write!(
+                t,
+                "|{}{}{}{}|{}|{:?}|{:?}|{}|{}|{:?}",
+                st.coordinator.is_some() as u8,
+                st.termination.is_some() as u8,
+                st.elector.is_some() as u8,
+                st.watchdog_armed as u8,
+                now.since(st.last_coord_contact).0,
+                st.decided,
+                st.decided_version,
+                st.blocked as u8,
+                st.termination_rounds,
+                st.x_siblings,
+            );
+            h.write(t.as_bytes());
+        }
+        let mut xids: Vec<TxnId> = self.xcoords.keys().copied().collect();
+        xids.sort_unstable();
+        for id in xids {
+            h.write(format!("x{id:?}").as_bytes());
+            self.xcoords
+                .get(&id)
+                .expect("sorted key")
+                .fingerprint(now, h);
+        }
+        // Compact outcomes and retirement/checkpoint bookkeeping.
+        let mut rids: Vec<TxnId> = self.retired.keys().copied().collect();
+        rids.sort_unstable();
+        for id in rids {
+            let r = self.retired.get(&id).expect("sorted key");
+            h.write(
+                format!(
+                    "r{id:?}={:?},{:?},{}",
+                    r.decision,
+                    r.commit_version,
+                    now.since(r.decided_at).0
+                )
+                .as_bytes(),
+            );
+        }
+        let mut xrids: Vec<TxnId> = self.xretired.keys().copied().collect();
+        xrids.sort_unstable();
+        for id in xrids {
+            h.write(
+                format!("xr{id:?}={:?}", self.xretired.get(&id).expect("sorted key")).as_bytes(),
+            );
+        }
+        for (t, id) in &self.retire_queue {
+            h.write(format!("rq{}:{id:?}", now.since(*t).0).as_bytes());
+        }
+        let mut lsns: Vec<(TxnId, Lsn)> = self.first_lsn.iter().map(|(t, l)| (*t, *l)).collect();
+        lsns.sort_unstable();
+        for (id, lsn) in lsns {
+            h.write(format!("fl{id:?}@{lsn:?}").as_bytes());
+        }
     }
 }
 

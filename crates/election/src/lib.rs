@@ -282,6 +282,16 @@ impl Elector {
     }
 }
 
+/// Canonical state hash for the model checker's visited-set: phase and
+/// round fully determine the elector's future behaviour (id and peer
+/// set are fixed per instance and hashed at the node level).
+impl qbc_simnet::Fingerprint for Elector {
+    fn fingerprint(&self, _now: qbc_simnet::Time, h: &mut qbc_simnet::FastHasher) {
+        use std::hash::Hasher;
+        h.write(format!("{:?}|{}", self.phase, self.round).as_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,7 @@ impl<T: Ord + Clone> Entry<T> {
 }
 
 /// A per-site lock table over resources `R` held by transactions `T`.
+#[derive(Clone, Debug)]
 pub struct LockManager<R, T>
 where
     R: Ord + Clone,
@@ -307,6 +308,29 @@ where
                 mode: req.mode,
             });
         }
+    }
+
+    /// Canonical snapshot of the table for state hashing: per resource
+    /// (in key order), the holders (in key order) and the queue (in
+    /// queue order, with the upgrade flag). Excludes the activity
+    /// counters ([`LockManager::stats`]), which are history rather than
+    /// state: two tables that will grant identically can have got there
+    /// through different request sequences.
+    #[allow(clippy::type_complexity)]
+    pub fn table_snapshot(&self) -> Vec<(R, Vec<(T, LockMode)>, Vec<(T, LockMode, bool)>)> {
+        self.table
+            .iter()
+            .map(|(r, e)| {
+                (
+                    r.clone(),
+                    e.holders.iter().map(|(t, m)| (t.clone(), *m)).collect(),
+                    e.queue
+                        .iter()
+                        .map(|q| (q.txn.clone(), q.mode, q.upgrade))
+                        .collect(),
+                )
+            })
+            .collect()
     }
 
     /// Builds the wait-for relation: `waiter -> holder` edges for every

@@ -1,0 +1,745 @@
+//! # qbc-mc — exhaustive model checker for the protocol core
+//!
+//! Sampled fault injection (crash matrices, proptest schedules) shows a
+//! protocol surviving *some* executions; a model checker shows it
+//! surviving **all** of them, for a small configuration and bounded
+//! faults. This crate walks every reachable state of a
+//! [`ControlledHost`] — branching on message delivery order, budgeted
+//! drops/duplications, crash and recovery placement, and timer firings —
+//! and checks invariants in each state. Any violation is returned as the
+//! exact [`Choice`] schedule that produced it, replayable
+//! deterministically with [`replay`].
+//!
+//! ## Tractability
+//!
+//! * **Canonical fingerprints** ([`Fingerprint`]): states reached by
+//!   different histories hash equal when they are behaviourally equal,
+//!   and the visited-set merges them. This alone collapses the diamond
+//!   of any two commuting events.
+//! * **Sleep-set partial-order reduction**: deliveries to *different*
+//!   sites commute exactly (delivery never advances the clock), so
+//!   after exploring `deliver a; …` the checker puts `a` to sleep while
+//!   exploring a sibling `deliver b` to another site, avoiding the
+//!   second half of the diamond instead of merely merging it. Sleep
+//!   sets prune *transitions*, never *states*: every reachable state is
+//!   still visited, so per-state invariant checking stays sound. The
+//!   visited-set records the sleep set each state was explored with and
+//!   re-explores on arrival with an incomparable one (Godefroid's
+//!   refinement), which keeps the combination with state merging sound.
+//! * **Budgets**: depth bounds the schedule length, fault budgets bound
+//!   the adversary, [`McConfig::max_states`] is a safety valve.
+//!
+//! ## Search order
+//!
+//! [`Search::Bfs`] (the default) visits states in schedule-length order,
+//! so the first violation found is a shortest one — minimal
+//! counterexamples for free. [`Search::Dfs`] trades that for a much
+//! smaller frontier; use it for deep explorations that BFS cannot hold
+//! in memory.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{HashMap, VecDeque};
+
+pub use qbc_simnet::{Choice, ControlledHost, Fingerprint, FirePolicy, HostConfig};
+use qbc_simnet::{Process, SiteId};
+
+/// Worklist discipline of the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Search {
+    /// Breadth-first: first violation found is a shortest one.
+    Bfs,
+    /// Depth-first: small frontier, counterexamples not minimal.
+    Dfs,
+}
+
+/// Exploration bounds and reductions.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Maximum schedule length; states at this depth are not expanded
+    /// (counted in [`McStats::frontier_cut`] when they had choices
+    /// left).
+    pub max_depth: usize,
+    /// Stop after this many distinct states (safety valve; the report's
+    /// [`McStats::complete`] turns false).
+    pub max_states: usize,
+    /// Worklist discipline.
+    pub search: Search,
+    /// Enable sleep-set partial-order reduction over commuting
+    /// deliveries.
+    pub por: bool,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            max_depth: 64,
+            max_states: 1_000_000,
+            search: Search::Bfs,
+            por: true,
+        }
+    }
+}
+
+/// Counters describing one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct McStats {
+    /// Distinct states visited (including the initial state).
+    pub explored: usize,
+    /// Choices applied (edges walked, including ones leading to
+    /// already-visited states).
+    pub transitions: usize,
+    /// Children merged into an already-visited fingerprint.
+    pub deduped: usize,
+    /// Choices skipped by the sleep set (avoided half-diamonds).
+    pub sleep_skipped: usize,
+    /// Visited states re-expanded because they were reached with a
+    /// sleep set not covered by the stored one.
+    pub re_explored: usize,
+    /// States left unexpanded at the depth bound while choices remained.
+    pub frontier_cut: usize,
+    /// States in which no delivery or timer firing was enabled (the
+    /// system had drained at its current fault level).
+    pub quiescent: usize,
+    /// Deepest schedule prefix expanded.
+    pub max_depth_seen: usize,
+    /// False when [`McConfig::max_states`] stopped the search early.
+    pub complete: bool,
+}
+
+impl McStats {
+    /// One-line rendering for logs and CI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "explored {} states ({} transitions, {} deduped, {} sleep-skipped, {} re-explored), \
+             {} quiescent, depth <= {}, frontier cut {}, complete: {}",
+            self.explored,
+            self.transitions,
+            self.deduped,
+            self.sleep_skipped,
+            self.re_explored,
+            self.quiescent,
+            self.max_depth_seen,
+            self.frontier_cut,
+            self.complete
+        )
+    }
+}
+
+/// A violation with the exact schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// The invariant's explanation of what went wrong.
+    pub message: String,
+    /// The choice schedule from the initial state to the violating
+    /// state. Replay with [`replay`] over a fresh copy of the same
+    /// initial host.
+    pub schedule: Vec<Choice>,
+    /// Human rendering of each schedule step (message payloads, timer
+    /// kinds), produced by [`ControlledHost::describe`] during replay.
+    pub steps: Vec<String>,
+}
+
+impl Counterexample {
+    /// Multi-line rendering for logs and flight-recorder dumps.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "invariant '{}' violated after {} steps: {}\n",
+            self.invariant,
+            self.schedule.len(),
+            self.message
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!("  {i:3}. {step}\n"));
+        }
+        out
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Clone, Debug)]
+pub struct McReport {
+    /// Exploration counters.
+    pub stats: McStats,
+    /// The first violation found, if any (a shortest one under
+    /// [`Search::Bfs`]).
+    pub violation: Option<Counterexample>,
+}
+
+type CheckFn<N> = Box<dyn Fn(&ControlledHost<N>) -> Result<(), String>>;
+
+struct Invariant<N: Process> {
+    name: String,
+    check: CheckFn<N>,
+}
+
+/// A message-delivery sleep entry: destination (for the independence
+/// test) plus a canonical rendering of the message (stable across
+/// branches, unlike sequence numbers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SleepEntry {
+    to: SiteId,
+    key: String,
+}
+
+struct WorkItem<N: Process> {
+    host: ControlledHost<N>,
+    path: Vec<Choice>,
+    sleep: Vec<SleepEntry>,
+}
+
+/// The exhaustive checker: a set of invariants plus exploration bounds.
+///
+/// Per-state invariants run in **every** reachable state; quiescent
+/// invariants run only in states where no delivery or timer firing is
+/// enabled — the place to assert liveness-flavoured properties such as
+/// "once everything that can happen has happened, every live site has
+/// decided" (bounded termination).
+pub struct Checker<N: Process + Clone + Fingerprint> {
+    cfg: McConfig,
+    invariants: Vec<Invariant<N>>,
+    quiescent_invariants: Vec<Invariant<N>>,
+}
+
+impl<N: Process + Clone + Fingerprint> Checker<N> {
+    /// A checker with no invariants (add them with
+    /// [`Checker::invariant`] / [`Checker::quiescent_invariant`]).
+    pub fn new(cfg: McConfig) -> Self {
+        Checker {
+            cfg,
+            invariants: Vec::new(),
+            quiescent_invariants: Vec::new(),
+        }
+    }
+
+    /// Adds a per-state invariant: checked in every reachable state;
+    /// `Err(why)` terminates the search with a counterexample.
+    pub fn invariant(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&ControlledHost<N>) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.invariants.push(Invariant {
+            name: name.into(),
+            check: Box::new(check),
+        });
+        self
+    }
+
+    /// Adds a quiescent-state invariant: checked only where no delivery
+    /// or timer firing is enabled.
+    pub fn quiescent_invariant(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&ControlledHost<N>) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.quiescent_invariants.push(Invariant {
+            name: name.into(),
+            check: Box::new(check),
+        });
+        self
+    }
+
+    /// Explores every reachable state from `initial` within the bounds.
+    ///
+    /// Returns the counters and the first violation found (if any) with
+    /// its replayable schedule.
+    pub fn run(&self, initial: ControlledHost<N>) -> McReport {
+        let mut stats = McStats {
+            complete: true,
+            ..McStats::default()
+        };
+        // fingerprint -> sleep set the state was (last) explored with.
+        let mut visited: HashMap<u64, Vec<SleepEntry>> = HashMap::new();
+
+        if let Some(v) = self.check_state(&initial, &[], &mut stats) {
+            stats.explored = 1;
+            return McReport {
+                stats,
+                violation: Some(self.render_cex(&initial, v)),
+            };
+        }
+        visited.insert(initial.fingerprint(), Vec::new());
+        stats.explored = 1;
+
+        let mut work: VecDeque<WorkItem<N>> = VecDeque::new();
+        work.push_back(WorkItem {
+            host: initial.clone(),
+            path: Vec::new(),
+            sleep: Vec::new(),
+        });
+
+        while let Some(item) = match self.cfg.search {
+            Search::Bfs => work.pop_front(),
+            Search::Dfs => work.pop_back(),
+        } {
+            let choices = item.host.enabled_choices();
+            let quiescent = !choices
+                .iter()
+                .any(|c| matches!(c, Choice::Deliver { .. } | Choice::Fire { .. }));
+            if quiescent {
+                stats.quiescent += 1;
+                for inv in &self.quiescent_invariants {
+                    if let Err(message) = (inv.check)(&item.host) {
+                        return McReport {
+                            stats,
+                            violation: Some(self.render_cex(
+                                &initial,
+                                Violation {
+                                    invariant: inv.name.clone(),
+                                    message,
+                                    schedule: item.path.clone(),
+                                },
+                            )),
+                        };
+                    }
+                }
+            }
+            if item.path.len() >= self.cfg.max_depth {
+                if !choices.is_empty() {
+                    stats.frontier_cut += 1;
+                }
+                continue;
+            }
+            stats.max_depth_seen = stats.max_depth_seen.max(item.path.len() + 1);
+
+            // Deliveries already explored at *this* state; a later
+            // sibling's children may sleep on them if independent.
+            let mut done: Vec<SleepEntry> = Vec::new();
+            for &choice in &choices {
+                let entry = self.deliver_entry(&item.host, choice);
+                if let Some(e) = &entry {
+                    if item.sleep.iter().any(|s| s.key == e.key) {
+                        stats.sleep_skipped += 1;
+                        continue;
+                    }
+                }
+
+                let mut child = item.host.clone();
+                child.apply(choice);
+                stats.transitions += 1;
+
+                let child_sleep: Vec<SleepEntry> = match &entry {
+                    // Delivering to site `d` commutes with every
+                    // sleeping delivery to a *different* site: keep
+                    // those asleep.
+                    Some(e) => item
+                        .sleep
+                        .iter()
+                        .chain(done.iter())
+                        .filter(|s| s.to != e.to)
+                        .cloned()
+                        .collect(),
+                    // Drops, duplications, timer firings, crashes and
+                    // recoveries do not commute with deliveries (they
+                    // change budgets, the clock, or the up-map): wake
+                    // everything.
+                    None => Vec::new(),
+                };
+
+                let fp = child.fingerprint();
+                match visited.get_mut(&fp) {
+                    Some(stored) => {
+                        if stored.iter().all(|s| child_sleep.contains(s)) {
+                            // Stored sleep set is a subset of ours: the
+                            // earlier visit explored at least as much.
+                            stats.deduped += 1;
+                        } else {
+                            // Incomparable sleep sets: re-explore with
+                            // the intersection (monotonically shrinking,
+                            // so this terminates).
+                            let merged: Vec<SleepEntry> = stored
+                                .iter()
+                                .filter(|s| child_sleep.contains(s))
+                                .cloned()
+                                .collect();
+                            *stored = merged.clone();
+                            stats.re_explored += 1;
+                            let mut path = item.path.clone();
+                            path.push(choice);
+                            work.push_back(WorkItem {
+                                host: child,
+                                path,
+                                sleep: merged,
+                            });
+                        }
+                    }
+                    None => {
+                        let mut path = item.path.clone();
+                        path.push(choice);
+                        if let Some(v) = self.check_state(&child, &path, &mut stats) {
+                            stats.explored = visited.len() + 1;
+                            return McReport {
+                                stats,
+                                violation: Some(self.render_cex(&initial, v)),
+                            };
+                        }
+                        visited.insert(fp, child_sleep.clone());
+                        if visited.len() >= self.cfg.max_states {
+                            stats.complete = false;
+                            stats.explored = visited.len();
+                            return McReport {
+                                stats,
+                                violation: None,
+                            };
+                        }
+                        work.push_back(WorkItem {
+                            host: child,
+                            path,
+                            sleep: child_sleep,
+                        });
+                    }
+                }
+
+                if self.cfg.por {
+                    if let Some(e) = entry {
+                        done.push(e);
+                    }
+                }
+            }
+        }
+
+        stats.explored = visited.len();
+        McReport {
+            stats,
+            violation: None,
+        }
+    }
+
+    /// The sleep-set identity of a delivery choice in `host`'s current
+    /// state, or `None` for every other choice kind (and whenever the
+    /// reduction is disabled).
+    fn deliver_entry(&self, host: &ControlledHost<N>, choice: Choice) -> Option<SleepEntry> {
+        if !self.cfg.por {
+            return None;
+        }
+        let Choice::Deliver { seq } = choice else {
+            return None;
+        };
+        let m = host.in_flight().iter().find(|m| m.seq == seq)?;
+        Some(SleepEntry {
+            to: m.to,
+            key: format!("{}>{}:{:?}", m.from.0, m.to.0, m.msg),
+        })
+    }
+
+    fn check_state(
+        &self,
+        host: &ControlledHost<N>,
+        path: &[Choice],
+        _stats: &mut McStats,
+    ) -> Option<Violation> {
+        for inv in &self.invariants {
+            if let Err(message) = (inv.check)(host) {
+                return Some(Violation {
+                    invariant: inv.name.clone(),
+                    message,
+                    schedule: path.to_vec(),
+                });
+            }
+        }
+        None
+    }
+
+    fn render_cex(&self, initial: &ControlledHost<N>, v: Violation) -> Counterexample {
+        let (_, steps) = replay(initial.clone(), &v.schedule);
+        Counterexample {
+            invariant: v.invariant,
+            message: v.message,
+            schedule: v.schedule,
+            steps,
+        }
+    }
+}
+
+struct Violation {
+    invariant: String,
+    message: String,
+    schedule: Vec<Choice>,
+}
+
+/// Replays a recorded schedule over a fresh copy of the initial host,
+/// returning the final state and a human rendering of each step.
+///
+/// Replay is deterministic: the same initial host and schedule always
+/// reproduce the same states (sequence numbers included, because they
+/// are assigned in event order).
+pub fn replay<N: Process + Clone>(
+    mut host: ControlledHost<N>,
+    schedule: &[Choice],
+) -> (ControlledHost<N>, Vec<String>) {
+    let mut steps = Vec::with_capacity(schedule.len());
+    for &c in schedule {
+        steps.push(host.describe(c));
+        host.apply(c);
+    }
+    (host, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbc_simnet::{Ctx, Duration, FastHasher, Label, Time, TimerId};
+    use std::hash::Hasher;
+
+    /// A toy 2PC: site 0 coordinates sites 1..n.
+    #[derive(Clone, Debug, PartialEq)]
+    enum M {
+        Prepare,
+        Yes,
+        Commit,
+        Abort,
+    }
+    impl Label for M {
+        fn label(&self) -> &'static str {
+            "M"
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum D {
+        Commit,
+        Abort,
+    }
+
+    /// `buggy`: a voted-yes participant unilaterally aborts on timeout —
+    /// the classic 2PC mistake the checker must catch.
+    #[derive(Clone, Debug)]
+    struct Toy {
+        n: u32,
+        buggy: bool,
+        voted: bool,
+        yeses: u32,
+        decision: Option<D>,
+    }
+
+    impl Toy {
+        fn new(n: u32, buggy: bool) -> Self {
+            Toy {
+                n,
+                buggy,
+                voted: false,
+                yeses: 0,
+                decision: None,
+            }
+        }
+    }
+
+    impl Process for Toy {
+        type Msg = M;
+        type Timer = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, M, ()>) {
+            if ctx.id() == SiteId(0) {
+                for i in 1..self.n {
+                    ctx.send(SiteId(i), M::Prepare);
+                }
+            }
+            ctx.set_timer(Duration(10), ());
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, M, ()>, from: SiteId, msg: M) {
+            match msg {
+                M::Prepare => {
+                    // A participant that already presumed abort on its
+                    // own timeout must not vote yes afterwards.
+                    if self.decision.is_none() {
+                        self.voted = true;
+                        ctx.send(from, M::Yes);
+                    }
+                }
+                M::Yes => {
+                    self.yeses += 1;
+                    if self.yeses == self.n - 1 && self.decision.is_none() {
+                        self.decision = Some(D::Commit);
+                        for i in 1..self.n {
+                            ctx.send(SiteId(i), M::Commit);
+                        }
+                    }
+                }
+                M::Commit => {
+                    if self.decision.is_none() {
+                        self.decision = Some(D::Commit);
+                    }
+                }
+                M::Abort => {
+                    if self.decision.is_none() {
+                        self.decision = Some(D::Abort);
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, M, ()>, _id: TimerId, _t: ()) {
+            if self.decision.is_some() {
+                return;
+            }
+            if ctx.id() == SiteId(0) {
+                if self.yeses < self.n - 1 {
+                    self.decision = Some(D::Abort);
+                    for i in 1..self.n {
+                        ctx.send(SiteId(i), M::Abort);
+                    }
+                }
+            } else if !self.voted || self.buggy {
+                // Correct: only a participant that has not voted may
+                // presume abort. Buggy: aborts even after voting yes.
+                self.decision = Some(D::Abort);
+            }
+        }
+    }
+
+    impl Fingerprint for Toy {
+        fn fingerprint(&self, _now: Time, h: &mut FastHasher) {
+            h.write(format!("{}{}{:?}", self.voted, self.yeses, self.decision).as_bytes());
+        }
+    }
+
+    fn toy_host(n: u32, buggy: bool) -> ControlledHost<Toy> {
+        ControlledHost::new(
+            HostConfig::default(),
+            (0..n).map(|i| (SiteId(i), Toy::new(n, buggy))),
+        )
+    }
+
+    fn checker(cfg: McConfig) -> Checker<Toy> {
+        Checker::new(cfg).invariant("agreement", |h: &ControlledHost<Toy>| {
+            let mut committed = None;
+            let mut aborted = None;
+            for s in h.sites() {
+                match h.node(s).decision {
+                    Some(D::Commit) => committed = Some(s),
+                    Some(D::Abort) => aborted = Some(s),
+                    None => {}
+                }
+            }
+            match (committed, aborted) {
+                (Some(c), Some(a)) => Err(format!("{c} committed while {a} aborted")),
+                _ => Ok(()),
+            }
+        })
+    }
+
+    #[test]
+    fn correct_toy_is_clean_and_terminates() {
+        let report = checker(McConfig::default())
+            .quiescent_invariant("all-decided", |h: &ControlledHost<Toy>| {
+                for s in h.sites() {
+                    if h.is_up(s) && h.node(s).decision.is_none() {
+                        return Err(format!("{s} undecided at quiescence"));
+                    }
+                }
+                Ok(())
+            })
+            .run(toy_host(3, false));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.stats.complete);
+        assert!(report.stats.explored > 10);
+        assert!(report.stats.quiescent > 0, "{}", report.stats.summary());
+    }
+
+    #[test]
+    fn buggy_toy_yields_minimal_replayable_counterexample() {
+        let report = checker(McConfig::default()).run(toy_host(3, true));
+        let cex = report.violation.expect("the seeded bug must be found");
+        assert_eq!(cex.invariant, "agreement");
+        assert_eq!(cex.schedule.len(), cex.steps.len());
+        // Shortest violation: prepare+yes for one participant, commit
+        // at the coordinator, then the *other* voted participant's
+        // timeout fires... which needs both to have voted. BFS
+        // guarantees no shorter schedule exists; pin a sane bound.
+        assert!(
+            (4..=8).contains(&cex.schedule.len()),
+            "unexpected counterexample length:\n{}",
+            cex.render()
+        );
+        // The schedule replays to a violating state.
+        let (end, _) = replay(toy_host(3, true), &cex.schedule);
+        let ds: Vec<Option<D>> = end.sites().map(|s| end.node(s).decision).collect();
+        assert!(
+            ds.contains(&Some(D::Commit)) && ds.contains(&Some(D::Abort)),
+            "replayed end state must disagree: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn por_preserves_verdict_and_prunes_transitions() {
+        let with = checker(McConfig::default()).run(toy_host(3, false));
+        let without = checker(McConfig {
+            por: false,
+            ..McConfig::default()
+        })
+        .run(toy_host(3, false));
+        assert!(with.violation.is_none() && without.violation.is_none());
+        assert_eq!(
+            with.stats.explored, without.stats.explored,
+            "sleep sets must prune transitions, never states"
+        );
+        assert!(
+            with.stats.transitions < without.stats.transitions,
+            "POR should avoid commuted half-diamonds: {} vs {}",
+            with.stats.transitions,
+            without.stats.transitions
+        );
+        assert!(with.stats.sleep_skipped > 0);
+    }
+
+    #[test]
+    fn por_still_finds_the_bug() {
+        let with = checker(McConfig::default()).run(toy_host(3, true));
+        let without = checker(McConfig {
+            por: false,
+            ..McConfig::default()
+        })
+        .run(toy_host(3, true));
+        assert!(with.violation.is_some());
+        assert!(without.violation.is_some());
+        // Both find a minimal-length counterexample.
+        assert_eq!(
+            with.violation.unwrap().schedule.len(),
+            without.violation.unwrap().schedule.len()
+        );
+    }
+
+    #[test]
+    fn crash_budget_expands_the_state_space() {
+        let plain = checker(McConfig::default()).run(toy_host(3, false));
+        let faulty = checker(McConfig::default()).run(ControlledHost::new(
+            HostConfig {
+                crash_sites: vec![SiteId(0)],
+                max_crashes: 1,
+                ..HostConfig::default()
+            },
+            (0..3).map(|i| (SiteId(i), Toy::new(3, false))),
+        ));
+        assert!(faulty.violation.is_none());
+        assert!(
+            faulty.stats.explored > plain.stats.explored,
+            "a crash point multiplies reachable states"
+        );
+    }
+
+    #[test]
+    fn max_states_valve_reports_incomplete() {
+        let report = checker(McConfig {
+            max_states: 5,
+            ..McConfig::default()
+        })
+        .run(toy_host(3, false));
+        assert!(!report.stats.complete);
+        assert_eq!(report.stats.explored, 5);
+    }
+
+    #[test]
+    fn dfs_finds_the_bug_too() {
+        let report = checker(McConfig {
+            search: Search::Dfs,
+            ..McConfig::default()
+        })
+        .run(toy_host(3, true));
+        assert!(report.violation.is_some());
+    }
+}

@@ -54,6 +54,7 @@
 #![warn(rust_2018_idioms)]
 
 mod fasthash;
+pub mod host;
 mod ids;
 mod process;
 mod sim;
@@ -63,6 +64,7 @@ mod topology;
 mod trace;
 
 pub use fasthash::{FastBuildHasher, FastHasher, FastMap};
+pub use host::{Choice, ControlledHost, Fingerprint, FirePolicy, HostConfig};
 pub use ids::{sites, SiteId, TimerId};
 pub use process::{Ctx, Label, Process};
 pub use sim::{DelayModel, Quiescence, Sim, SimConfig};

@@ -12,18 +12,22 @@
 //! * Each record is one **frame**: `[len: u32 LE][crc: u32 LE][payload]`
 //!   where `crc` is the CRC-32 (IEEE) of the payload and `payload` is
 //!   the [`WalCodec`] encoding of the record.
-//! * [`WalBackend::force`] writes every buffered frame with one
-//!   `write_all` + `fdatasync`. When the active segment exceeds
-//!   [`FileWalConfig::segment_bytes`] it is sealed and the next force
-//!   opens a fresh segment (the directory is fsynced so the new entry
-//!   is itself durable).
-//! * On open, segments are scanned in order. An unreadable frame (short
-//!   header, short payload, or checksum mismatch) in the **last**
-//!   segment is a *torn tail* — a crash mid-`write` — and the file is
-//!   truncated back to the last whole frame; the lost records were
-//!   never acknowledged, so dropping them is exactly the
-//!   [`WalBackend::lose_volatile`] contract. The same damage anywhere
-//!   else is real corruption and open fails with [`WalError::Corrupt`].
+//! * [`WalBackend::force`] writes every buffered frame plus a closing
+//!   **force-boundary marker** (`[len=0xFFFF_FFFF][crc]["QBCF"][batch
+//!   start: u64 LE]`, no LSN) with one `write_all` + `fdatasync`. When
+//!   the active segment exceeds [`FileWalConfig::segment_bytes`] it is
+//!   sealed and the next force opens a fresh segment (the directory is
+//!   fsynced so the new entry is itself durable).
+//! * On open, segments are scanned in order; intact markers advance the
+//!   acknowledged watermark. Unreadable bytes in the **last** segment
+//!   *after* its final intact marker are a *torn tail* — a crash
+//!   mid-`write` — and the file is truncated back to that marker
+//!   boundary (dropping even intact frames of the unacknowledged
+//!   batch); the lost records were never acknowledged, so dropping
+//!   them is exactly the [`WalBackend::lose_volatile`] contract.
+//!   Damage anywhere else — a sealed segment, or before a later intact
+//!   marker in the active one — is real corruption and open fails with
+//!   [`WalError::Corrupt`].
 //! * [`WalBackend::truncate_before`] unlinks sealed segments that lie
 //!   entirely below the cutoff (whole-segment granularity: the backend
 //!   may retain slightly more than asked, never less).
@@ -40,6 +44,52 @@ use std::path::{Path, PathBuf};
 
 /// Frame header size: `len: u32` + `crc: u32`.
 const FRAME_HEADER: usize = 8;
+
+/// Sentinel `len` value marking a **force-boundary marker** instead of
+/// a record frame. No record payload may be 4 GiB, so the sentinel is
+/// unambiguous.
+const MARKER_LEN: u32 = u32::MAX;
+
+/// Magic prefix of a marker payload (guards against a record payload
+/// that happens to start with the sentinel after a misaligned scan).
+const MARKER_MAGIC: &[u8; 4] = b"QBCF";
+
+/// Total marker size on disk: `[len=MARKER_LEN][crc][magic][batch
+/// start offset: u64 LE]`. The crc covers the 12 payload bytes.
+pub(crate) const MARKER_SIZE: usize = FRAME_HEADER + 12;
+
+/// Encodes the force-boundary marker closing a batch whose first frame
+/// begins at `batch_start` (byte offset within the segment).
+fn encode_marker(out: &mut Vec<u8>, batch_start: u64) {
+    let mut payload = [0u8; 12];
+    payload[..4].copy_from_slice(MARKER_MAGIC);
+    payload[4..].copy_from_slice(&batch_start.to_le_bytes());
+    out.extend_from_slice(&MARKER_LEN.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Scans raw segment bytes for an intact force-boundary marker starting
+/// at or after `from`, at any byte alignment (a torn write can destroy
+/// framing, so markers must be findable without it). An intact marker
+/// beyond a damaged frame proves the damage sits inside *acknowledged*
+/// bytes: the force that wrote the marker returned.
+fn find_marker_after(data: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + MARKER_SIZE <= data.len() {
+        if data[i..i + 4] == MARKER_LEN.to_le_bytes()
+            && data[i + FRAME_HEADER..i + FRAME_HEADER + 4] == *MARKER_MAGIC
+        {
+            let crc = u32::from_le_bytes(data[i + 4..i + 8].try_into().unwrap());
+            let payload = &data[i + FRAME_HEADER..i + MARKER_SIZE];
+            if crc32(payload) == crc {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
 
 /// CRC-32 (IEEE 802.3) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
@@ -252,73 +302,110 @@ impl<R: WalCodec> FileWal<R> {
         self.cfg.dir.join(format!("wal-{first:016x}.seg"))
     }
 
-    /// Reads one segment into the mirror. For the last segment a bad
-    /// frame truncates the file back to the last whole frame (torn
-    /// tail); elsewhere it is corruption. Returns the retained byte
-    /// length.
+    /// Reads one segment into the mirror. Every force ends with a
+    /// boundary marker, so the markers partition a segment into
+    /// acknowledged batches plus (possibly) one unmarked tail that no
+    /// caller was ever acknowledged for.
     ///
-    /// Policy note: the tear point is the *first* bad frame, and
-    /// everything after it is dropped even if later bytes happen to
-    /// frame-check — a crashed multi-frame force can persist an
-    /// arbitrary subset of pages, so garbage followed by valid frames
-    /// of the same unacknowledged batch is a legitimate torn state
-    /// (erroring there would brick nodes on genuine crashes). The
-    /// residual risk runs the other way: bit rot *within acknowledged
-    /// bytes* of the active segment is indistinguishable from a tear
-    /// without force-boundary markers in the format, and is silently
-    /// truncated rather than reported (sealed segments do report it).
-    /// This matches the tolerate-tail recovery mode of production
-    /// WALs; markers are listed as future work in ROADMAP.
+    /// Damage rules, in order of what a bad frame can mean:
+    ///
+    /// * in a non-last segment — corruption (sealed by a completed
+    ///   force; a crash cannot explain it);
+    /// * in the last segment, with an intact marker *after* the damage
+    ///   — corruption inside acknowledged bytes (the marker's force
+    ///   returned, so everything before it was acknowledged; silently
+    ///   truncating it would un-happen acknowledged records);
+    /// * in the last segment, after the final marker — a torn tail,
+    ///   the expected remnant of a crash mid-`write`. The file is
+    ///   truncated back to the last marker: the whole unmarked batch is
+    ///   dropped, including any frames of it that happen to be intact
+    ///   (a crashed multi-frame force can persist an arbitrary subset
+    ///   of pages, so intact-looking frames past the tear are still
+    ///   unacknowledged).
+    ///
+    /// Returns the retained byte length.
     fn scan_segment(&mut self, path: &Path, is_last: bool) -> Result<u64, WalError> {
         let data = fs::read(path)?;
         let mut pos = 0usize;
+        // End of the most recent intact marker: everything at or below
+        // this is acknowledged.
+        let mut acked_bytes = 0usize;
+        let mut acked_records = self.records.len();
         let corrupt = |reason: String| WalError::Corrupt {
             segment: path.to_path_buf(),
             reason,
         };
-        while pos < data.len() {
-            let torn = |reason: &str| -> Result<Option<String>, WalError> {
-                if is_last {
-                    Ok(Some(reason.to_string()))
-                } else {
-                    Err(corrupt(format!("{reason} at offset {pos}")))
+        let bad: Option<&str> = loop {
+            if pos == data.len() {
+                break None;
+            }
+            if pos + FRAME_HEADER > data.len() {
+                break Some("short frame header");
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            if len == MARKER_LEN {
+                if pos + MARKER_SIZE > data.len() {
+                    break Some("short boundary marker");
                 }
-            };
-            let tear = if pos + FRAME_HEADER > data.len() {
-                torn("short frame header")?
-            } else {
-                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-                let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
-                let body = pos + FRAME_HEADER;
-                if body + len > data.len() {
-                    torn("short frame payload")?
-                } else {
-                    let payload = &data[body..body + len];
-                    if crc32(payload) != crc {
-                        torn("frame checksum mismatch")?
-                    } else {
-                        let rec = R::decode(payload).ok_or_else(|| {
-                            corrupt(format!("payload does not decode at offset {pos}"))
-                        })?;
-                        self.records.push(rec);
-                        pos = body + len;
-                        None
-                    }
+                let payload = &data[pos + FRAME_HEADER..pos + MARKER_SIZE];
+                if crc32(payload) != crc || &payload[..4] != MARKER_MAGIC {
+                    break Some("boundary marker damaged");
                 }
-            };
-            if let Some(reason) = tear {
-                // Torn tail: drop the partial frame; the records in it
-                // were never acknowledged (the force never returned).
+                pos += MARKER_SIZE;
+                acked_bytes = pos;
+                acked_records = self.records.len();
+                continue;
+            }
+            let body = pos + FRAME_HEADER;
+            let len = len as usize;
+            if body + len > data.len() {
+                break Some("short frame payload");
+            }
+            let payload = &data[body..body + len];
+            if crc32(payload) != crc {
+                break Some("frame checksum mismatch");
+            }
+            let rec = R::decode(payload)
+                .ok_or_else(|| corrupt(format!("payload does not decode at offset {pos}")))?;
+            self.records.push(rec);
+            pos = body + len;
+        };
+        let Some(reason) = bad else {
+            if is_last && pos > acked_bytes {
+                // Intact frames with no closing marker: a crash
+                // persisted an exact prefix of a batch whose force
+                // never returned. Unacknowledged, so dropped — "survives
+                // open" means exactly "was acknowledged".
+                self.records.truncate(acked_records);
                 let file = OpenOptions::new().write(true).open(path)?;
-                file.set_len(pos as u64)?;
+                file.set_len(acked_bytes as u64)?;
                 if self.cfg.fsync {
                     file.sync_all()?;
                 }
-                let _ = reason; // recorded in the file length change only
-                return Ok(pos as u64);
+                return Ok(acked_bytes as u64);
             }
+            return Ok(pos as u64);
+        };
+        if !is_last {
+            return Err(corrupt(format!("{reason} at offset {pos}")));
         }
-        Ok(pos as u64)
+        if find_marker_after(&data, pos + 1).is_some() {
+            return Err(corrupt(format!(
+                "{reason} at offset {pos} inside acknowledged bytes \
+                 (an intact force-boundary marker follows the damage)"
+            )));
+        }
+        // Torn tail: roll back to the last acknowledged force boundary.
+        // The dropped records were never acknowledged (their force
+        // never returned), so losing them is exactly `lose_volatile`.
+        self.records.truncate(acked_records);
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(acked_bytes as u64)?;
+        if self.cfg.fsync {
+            file.sync_all()?;
+        }
+        Ok(acked_bytes as u64)
     }
 
     /// Seals the active segment if it has reached the roll threshold.
@@ -379,6 +466,10 @@ impl<R: WalCodec> FileWal<R> {
             self.scratch[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
         }
         let active = self.active.as_mut().expect("ensured above");
+        // The boundary marker rides the same `write_all`: once this
+        // force is acknowledged, an intact marker sits after its frames,
+        // and recovery can tell acknowledged damage from a torn tail.
+        encode_marker(&mut self.scratch, active.bytes);
         active.file.write_all(&self.scratch)?;
         if self.cfg.fsync {
             active.file.sync_data()?;
@@ -500,6 +591,24 @@ pub enum EitherWal<R> {
     Mem(crate::Wal<R>),
     /// Disk-backed segments ([`FileWal`]).
     File(FileWal<R>),
+}
+
+/// Cloning is how the model checker branches a whole site state, and it
+/// is only meaningful for the in-memory model: a [`FileWal`] owns file
+/// handles on a single on-disk log, and two clones appending to the same
+/// segments would corrupt it.
+///
+/// # Panics
+/// On the [`EitherWal::File`] variant.
+impl<R: Clone> Clone for EitherWal<R> {
+    fn clone(&self) -> Self {
+        match self {
+            EitherWal::Mem(w) => EitherWal::Mem(w.clone()),
+            EitherWal::File(_) => {
+                panic!("EitherWal::File cannot be cloned (single on-disk log); use the in-memory backend for exploration")
+            }
+        }
+    }
 }
 
 impl<R: Clone + WalCodec> WalBackend<R> for EitherWal<R> {
@@ -675,6 +784,99 @@ mod tests {
         fs::write(&seg, &data).unwrap();
         let wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
         assert_eq!(wal.records(), &[1], "damaged tail frame dropped");
+    }
+
+    #[test]
+    fn damage_inside_acknowledged_bytes_of_the_active_segment_is_corruption() {
+        let dir = TempDir::new("filewal-acked-rot");
+        {
+            let mut wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+            wal.append(1);
+            wal.append(2);
+            wal.append(3);
+        }
+        // Flip a payload byte of the FIRST record: two intact boundary
+        // markers follow it, proving those bytes were acknowledged.
+        // Pre-marker formats had to shrug this off as a "tear" and
+        // silently truncate acknowledged records; now it is reported.
+        let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+        let mut data = fs::read(&seg).unwrap();
+        data[FRAME_HEADER] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+        let err = FileWal::<u64>::open(cfg(&dir)).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "got {err}");
+        assert!(err.to_string().contains("acknowledged"), "{err}");
+    }
+
+    #[test]
+    fn damaged_marker_before_an_intact_one_is_corruption() {
+        let dir = TempDir::new("filewal-marker-rot");
+        {
+            let mut wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+            wal.append(1);
+            wal.append(2);
+        }
+        // Flip a byte inside the FIRST marker's payload (right after
+        // frame 1): the second force's marker still proves the damage
+        // is in acknowledged territory.
+        let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+        let mut data = fs::read(&seg).unwrap();
+        let f1 = FRAME_HEADER + 8; // one u64 record frame
+        data[f1 + FRAME_HEADER + 4] ^= 0xFF; // marker payload byte
+        fs::write(&seg, &data).unwrap();
+        let err = FileWal::<u64>::open(cfg(&dir)).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "got {err}");
+    }
+
+    #[test]
+    fn torn_tail_drops_intact_frames_of_the_unacknowledged_batch() {
+        let dir = TempDir::new("filewal-torn-batch");
+        let marker_end;
+        {
+            let mut wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+            wal.append(1); // batch 1: acknowledged
+            marker_end = wal.storage_bytes();
+            wal.buffer(2);
+            wal.buffer(3);
+            wal.buffer(4);
+            WalBackend::force(&mut wal); // batch 2
+        }
+        // Simulate a crash that persisted an arbitrary subset of batch
+        // 2's pages: its closing marker is gone and its middle frame is
+        // garbage, but its first frame (record 2) is intact.
+        let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+        let mut data = fs::read(&seg).unwrap();
+        let f2_end = marker_end as usize + FRAME_HEADER + 8;
+        data[f2_end + FRAME_HEADER] ^= 0xFF; // tear record 3
+        data.truncate(f2_end + 2 * (FRAME_HEADER + 8)); // lose the marker
+        fs::write(&seg, &data).unwrap();
+        let wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+        assert_eq!(
+            wal.records(),
+            &[1],
+            "the whole unacknowledged batch goes, intact frames included"
+        );
+    }
+
+    #[test]
+    fn clean_prefix_of_an_unmarked_batch_is_rolled_back() {
+        let dir = TempDir::new("filewal-unmarked");
+        let marker_end;
+        {
+            let mut wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+            wal.append(1);
+            marker_end = wal.storage_bytes();
+            wal.append(2);
+        }
+        // A crash that persisted exactly batch 2's record frame but not
+        // its marker: frame-clean EOF, yet never acknowledged.
+        let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+        let mut data = fs::read(&seg).unwrap();
+        data.truncate(marker_end as usize + FRAME_HEADER + 8);
+        fs::write(&seg, &data).unwrap();
+        let mut wal: FileWal<u64> = FileWal::open(cfg(&dir)).unwrap();
+        assert_eq!(wal.records(), &[1], "unmarked tail is not acknowledged");
+        assert_eq!(wal.append(5), Lsn(1), "the log continues from the boundary");
     }
 
     #[test]

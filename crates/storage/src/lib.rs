@@ -197,6 +197,85 @@ mod proptests {
             prop_assert_eq!(WalBackend::records(&reopened), &survivors[..]);
         }
 
+        /// Force-boundary markers make torn-tail recovery *exact*: for
+        /// any batch pattern, truncating the file anywhere inside the
+        /// final (possibly multi-frame) batch region recovers exactly
+        /// the acknowledged records — never a partial batch, never an
+        /// acknowledged record lost.
+        #[test]
+        fn torn_tails_recover_exactly_the_acknowledged_batches(
+            batches in proptest::collection::vec(1usize..4, 1..6),
+            tear_pct in 0u64..100,
+        ) {
+            let dir = TempDir::new("storage-torn-prop");
+            let cfg = FileWalConfig::new(dir.path()).without_fsync();
+            let mut file: FileWal<u32> = FileWal::open(cfg.clone()).unwrap();
+            let mut next = 0u32;
+            let mut acked: Vec<u32> = Vec::new();
+            let (tail, head) = batches.split_last().unwrap();
+            for &n in head {
+                for _ in 0..n {
+                    WalBackend::buffer(&mut file, next);
+                    acked.push(next);
+                    next += 1;
+                }
+                WalBackend::force(&mut file);
+            }
+            let acked_bytes = file.storage_bytes();
+            for _ in 0..*tail {
+                WalBackend::buffer(&mut file, next);
+                next += 1;
+            }
+            WalBackend::force(&mut file);
+            let total = file.storage_bytes();
+            drop(file);
+            // Tear at an arbitrary point inside the final batch: at
+            // least its closing marker's last byte is lost, so it was
+            // never acknowledged.
+            let keep = acked_bytes + (total - acked_bytes) * tear_pct / 100;
+            let keep = keep.min(total - 1);
+            let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+            let mut data = std::fs::read(&seg).unwrap();
+            data.truncate(keep as usize);
+            std::fs::write(&seg, &data).unwrap();
+            let reopened: FileWal<u32> = FileWal::open(cfg).unwrap();
+            prop_assert_eq!(WalBackend::records(&reopened), &acked[..]);
+        }
+
+        /// Any single-bit flip strictly before the final force-boundary
+        /// marker damages *acknowledged* bytes, and open reports
+        /// `WalError::Corrupt` instead of silently truncating the log.
+        #[test]
+        fn acknowledged_damage_is_always_reported(
+            batches in proptest::collection::vec(1usize..4, 1..6),
+            pos_pct in 0u64..100,
+            bit in 0u32..8,
+        ) {
+            let dir = TempDir::new("storage-rot-prop");
+            let cfg = FileWalConfig::new(dir.path()).without_fsync();
+            let mut file: FileWal<u32> = FileWal::open(cfg.clone()).unwrap();
+            let mut next = 0u32;
+            for &n in &batches {
+                for _ in 0..n {
+                    WalBackend::buffer(&mut file, next);
+                    next += 1;
+                }
+                WalBackend::force(&mut file);
+            }
+            let total = file.storage_bytes();
+            drop(file);
+            // Flip one bit anywhere before the final marker (which
+            // stays intact and proves everything before it was acked).
+            let span = total - crate::file::MARKER_SIZE as u64;
+            let pos = ((span - 1) * pos_pct / 100) as usize;
+            let seg = dir.path().join(format!("wal-{:016x}.seg", 0));
+            let mut data = std::fs::read(&seg).unwrap();
+            data[pos] ^= 1 << bit;
+            std::fs::write(&seg, &data).unwrap();
+            let err = FileWal::<u32>::open(cfg).unwrap_err();
+            prop_assert!(matches!(err, WalError::Corrupt { .. }), "got {err}");
+        }
+
         /// The store never goes backwards: after any sequence of applies,
         /// the stored version equals the maximum successfully applied.
         #[test]

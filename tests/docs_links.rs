@@ -85,6 +85,7 @@ fn the_docs_tree_is_complete() {
         "wal-format.md",
         "testing.md",
         "observability.md",
+        "model-checking.md",
     ] {
         let path = docs.join(page);
         let text = std::fs::read_to_string(&path)
@@ -109,6 +110,13 @@ fn docs_references_to_code_paths_exist() {
         "crates/cluster/tests/xshard_props.rs",
         "crates/core/src/wal_codec.rs",
         "crates/cluster/tests/obs_blocking.rs",
+        "crates/cluster/tests/model_check.rs",
+        "crates/cluster/tests/mc_regressions.rs",
+        "crates/cluster/tests/xshard_discovery.rs",
+        "crates/cluster/examples/mc_probe.rs",
+        "crates/mc/src/lib.rs",
+        "crates/cluster/src/mc_harness.rs",
+        "crates/core/tests/rule_safety.rs",
         "crates/bench/src/bin/e13_cluster_throughput.rs",
         "crates/bench/src/bin/e14_sim_throughput.rs",
         "crates/bench/src/bin/e15_file_wal.rs",
