@@ -1,0 +1,318 @@
+//! E17 — read availability under pinned copies: quorum reads vs MVCC
+//! snapshot reads at the commit-stable watermark.
+//!
+//! The paper's quorum read protocol treats a copy X-locked by an
+//! undecided transaction as unreadable, so an in-doubt transaction that
+//! pins copies (a 2PC coordinator crash between collecting yes-votes
+//! and delivering the decision) makes the item `Unavailable` for the
+//! whole blocking window. The multi-version store removes that
+//! coupling: snapshot reads answer from the newest version at or below
+//! the shard's commit-stable watermark, *under* the pins, without
+//! touching locks.
+//!
+//! This experiment runs the **identical** deterministic schedule twice:
+//! a committed baseline write, then an in-doubt transaction whose 2PC
+//! coordinator crashes mid-protocol and stays down for a long pinned
+//! window, with probe reads of the pinned item fired at a fixed cadence
+//! throughout. The quorum cell probes through `start_read`; the
+//! snapshot cell probes through `start_snapshot_read`. Both cells
+//! exhibit the same pinned-copy contention (the observability layer
+//! records the blocked windows); only the read path differs.
+//!
+//! Expected shape — the acceptance bar:
+//! * quorum cell: every probe inside the pinned window resolves
+//!   `Unavailable` (a non-zero read-unavailability window);
+//! * snapshot cell: **zero** `Unavailable`, every probe returns the
+//!   committed baseline value (zero read-unavailability window), and
+//!   no probe ever observes the undecided write.
+//!
+//! Output: a human table plus `BENCH_e17.json` (`--smoke` writes
+//! `BENCH_e17_smoke.json` with a shorter pinned window so CI never
+//! clobbers committed full-run numbers).
+
+use qbc_cluster::{ClusterConfig, ObsConfig, ShardId, SimCluster};
+use qbc_core::{ProtocolKind, WriteSet};
+use qbc_db::ReadResult;
+use qbc_simnet::{Duration, Time};
+use qbc_votes::ItemId;
+use std::fmt::Write as _;
+
+/// Ticks between consecutive probe reads of the pinned item.
+const PROBE_INTERVAL: u64 = 50;
+/// The in-doubt transaction is submitted at this virtual time.
+const PIN_START: u64 = 200;
+
+/// One replica group, three sites, one vote per copy, r = w = 2 — the
+/// paper's running example shape — under plain 2PC, the protocol whose
+/// coordinator crash actually blocks participants.
+fn cfg(snapshot: bool) -> ClusterConfig {
+    let base = ClusterConfig {
+        shards: 1,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 8,
+        read_quorum: 2,
+        write_quorum: 2,
+        protocol: ProtocolKind::TwoPhase,
+        t_bound: Duration(10),
+        seed: 17,
+        ..Default::default()
+    }
+    .with_obs(ObsConfig::on());
+    if snapshot {
+        base.with_snapshot_reads(4)
+    } else {
+        base
+    }
+}
+
+struct Cell {
+    read_path: &'static str,
+    probes: u64,
+    success: u64,
+    unavailable: u64,
+    /// Probe cadence × unavailable probes: the measured span of virtual
+    /// time during which this read path could not answer.
+    unavailable_window_ticks: u64,
+    /// Probes that observed anything other than the committed baseline
+    /// value (must stay zero on both paths: the undecided write is
+    /// never visible).
+    dirty: u64,
+    committed: u64,
+    aborted: u64,
+    /// Sum of the observer's pinned-copy durations — evidence the
+    /// contention was real and identical across cells.
+    pinned_copy_ticks: u64,
+    blocked_windows: u64,
+    snapshot_reads_total: u64,
+    snapshot_reads_local: u64,
+    virtual_ticks: u64,
+}
+
+/// Runs one cell: baseline commit, in-doubt 2PC transaction pinning the
+/// item for `pin_len` ticks, probe reads at `PROBE_INTERVAL` throughout
+/// the pinned window, then coordinator recovery and full settlement.
+fn run_cell(snapshot: bool, pin_len: u64) -> Cell {
+    let mut c = SimCluster::new(cfg(snapshot));
+    let item = ItemId(0);
+
+    // Baseline: a committed value installed on every copy.
+    let h1 = c.submit_at(Time(0), WriteSet::new([(item, 41)]));
+    assert_eq!(
+        c.await_decision(&h1, Time(5_000)),
+        Some(qbc_core::Decision::Commit),
+        "baseline write must commit"
+    );
+    c.run_to_quiescence(1_000_000);
+    assert!(
+        c.now() < Time(PIN_START),
+        "baseline settlement overran the pin start"
+    );
+
+    // The in-doubt transaction: its 2PC coordinator crashes between
+    // collecting yes-votes and delivering the decision, so the
+    // surviving participants hold the item's copies pinned (blocked,
+    // in the paper's sense) until the coordinator returns.
+    let h2 = c.submit_at(Time(PIN_START), WriteSet::new([(item, 42)]));
+    let crashed = h2.coordinator;
+    c.sim_mut().schedule_crash(Time(PIN_START + 6), crashed);
+    c.sim_mut()
+        .schedule_recover(Time(PIN_START + pin_len), crashed);
+
+    // Probe through the live sites only (alternating), via direct
+    // scheduled calls: the round-robin front-end would aim a third of
+    // the probes at the crashed coordinator.
+    let live: Vec<_> = c
+        .map()
+        .sites_of(ShardId(0))
+        .into_iter()
+        .filter(|&s| s != crashed)
+        .collect();
+    let (mut probes, mut success, mut unavailable, mut dirty) = (0u64, 0u64, 0u64, 0u64);
+    let mut t = PIN_START + 50;
+    let mut req_id = 9_000_000u64;
+    while t + 100 <= PIN_START + pin_len {
+        let site = live[(probes % live.len() as u64) as usize];
+        let r = req_id;
+        req_id += 1;
+        if snapshot {
+            c.sim_mut().schedule_call(Time(t), site, move |node, ctx| {
+                node.start_snapshot_read(ctx, r, item);
+            });
+        } else {
+            c.sim_mut().schedule_call(Time(t), site, move |node, ctx| {
+                node.start_read(ctx, r, item);
+            });
+        }
+        // Poll after the collection window but before the resolved
+        // collector retires (the read tables are bounded).
+        c.run_until(Time(t + 35));
+        let res = if snapshot {
+            c.sim().node(site).snap_read_result(r)
+        } else {
+            c.sim().node(site).read_result(r)
+        };
+        probes += 1;
+        match res {
+            Some(ReadResult::Success { value, .. }) => {
+                success += 1;
+                if value != 41 {
+                    dirty += 1;
+                }
+            }
+            Some(ReadResult::Unavailable) => unavailable += 1,
+            other => panic!("probe at t={t} did not resolve in-window: {other:?}"),
+        }
+        t += PROBE_INTERVAL;
+    }
+
+    // Recovery and settlement: the healed cluster decides everything.
+    for _ in 0..200 {
+        if c.run_to_quiescence(10_000_000).drained() {
+            break;
+        }
+    }
+    let (metrics, violations) = c.metrics_and_violations();
+    assert!(
+        violations.is_empty() && c.engine_violations().is_empty(),
+        "snapshot={snapshot}: atomicity violated"
+    );
+    assert_eq!(
+        metrics.total_undecided(),
+        0,
+        "snapshot={snapshot}: the in-doubt transaction never resolved"
+    );
+    let obs = c.obs().expect("obs enabled").clone();
+    let (snap_total, snap_local) = obs.snapshot_reads();
+    Cell {
+        read_path: if snapshot { "snapshot" } else { "quorum" },
+        probes,
+        success,
+        unavailable,
+        unavailable_window_ticks: unavailable * PROBE_INTERVAL,
+        dirty,
+        committed: metrics.total_committed(),
+        aborted: metrics.total_aborted(),
+        pinned_copy_ticks: obs.pin_time().sum(),
+        blocked_windows: obs.blocked_window().count(),
+        snapshot_reads_total: snap_total,
+        snapshot_reads_local: snap_local,
+        virtual_ticks: c.now().0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let pin_len = if smoke { 700 } else { 2_000 };
+
+    println!("E17 — read availability under pinned copies: quorum vs snapshot reads");
+    println!(
+        "(1 shard x 3 sites, r=w=2, 2PC, coordinator in-doubt crash pinning the item \
+         for {pin_len} ticks, probes every {PROBE_INTERVAL} ticks)\n"
+    );
+    println!(
+        "{:<10} {:>7} {:>8} {:>12} {:>13} {:>6} {:>7} {:>6} {:>12} {:>9}",
+        "read path",
+        "probes",
+        "success",
+        "unavailable",
+        "unavail ticks",
+        "dirty",
+        "commit",
+        "abort",
+        "pinned ticks",
+        "blocked",
+    );
+
+    let cells = [run_cell(false, pin_len), run_cell(true, pin_len)];
+    for cell in &cells {
+        println!(
+            "{:<10} {:>7} {:>8} {:>12} {:>13} {:>6} {:>7} {:>6} {:>12} {:>9}",
+            cell.read_path,
+            cell.probes,
+            cell.success,
+            cell.unavailable,
+            cell.unavailable_window_ticks,
+            cell.dirty,
+            cell.committed,
+            cell.aborted,
+            cell.pinned_copy_ticks,
+            cell.blocked_windows,
+        );
+    }
+    println!();
+
+    // Acceptance. Both cells ran the same schedule and saw the same
+    // pinned-copy contention; the read paths diverge on availability.
+    let (quorum, snap) = (&cells[0], &cells[1]);
+    assert!(quorum.probes > 0 && quorum.probes == snap.probes);
+    for cell in &cells {
+        assert!(
+            cell.blocked_windows > 0 && cell.pinned_copy_ticks as f64 >= pin_len as f64 * 0.8,
+            "{}: the in-doubt crash did not produce a real pinned window",
+            cell.read_path
+        );
+        assert_eq!(
+            cell.dirty, 0,
+            "{}: a probe observed the undecided write",
+            cell.read_path
+        );
+    }
+    assert!(
+        quorum.unavailable > 0,
+        "quorum control must show a read-unavailability window under pinned copies"
+    );
+    assert_eq!(
+        snap.unavailable, 0,
+        "snapshot reads must never be unavailable while the copies are merely pinned"
+    );
+    assert_eq!(snap.unavailable_window_ticks, 0);
+    assert_eq!(snap.success, snap.probes);
+    assert_eq!(
+        snap.snapshot_reads_total, snap.probes,
+        "the observer must count every snapshot read"
+    );
+    println!(
+        "acceptance: quorum path unavailable for {} of {} probes ({} ticks); \
+         snapshot path 0 of {} — OK",
+        quorum.unavailable, quorum.probes, quorum.unavailable_window_ticks, snap.probes
+    );
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"e17_read_availability\",\n  \"unit\": \"virtual ticks\",\n",
+    );
+    let _ = write!(
+        json,
+        "  \"probe_interval\": {PROBE_INTERVAL},\n  \"pin_window_ticks\": {pin_len},\n  \"cells\": [\n"
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"read_path\": \"{}\", \"probes\": {}, \"success\": {}, \"unavailable\": {}, \"unavailable_window_ticks\": {}, \"dirty\": {}, \"committed\": {}, \"aborted\": {}, \"pinned_copy_ticks\": {}, \"blocked_windows\": {}, \"snapshot_reads_total\": {}, \"snapshot_reads_local\": {}, \"virtual_ticks\": {}}}",
+            cell.read_path,
+            cell.probes,
+            cell.success,
+            cell.unavailable,
+            cell.unavailable_window_ticks,
+            cell.dirty,
+            cell.committed,
+            cell.aborted,
+            cell.pinned_copy_ticks,
+            cell.blocked_windows,
+            cell.snapshot_reads_total,
+            cell.snapshot_reads_local,
+            cell.virtual_ticks,
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    let out = if smoke {
+        "BENCH_e17_smoke.json"
+    } else {
+        "BENCH_e17.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -71,6 +71,21 @@ pub struct ClusterConfig {
     /// [`ClusterConfig::retire_after`], since live transactions pin
     /// the log. `None` (the default) never truncates.
     pub checkpoint_interval: Option<Duration>,
+    /// Per-site byte-threshold checkpoint trigger (see
+    /// [`qbc_db::NodeConfig::checkpoint_bytes`]): checkpoint when this
+    /// many encoded log bytes accumulate since the last one, so a site
+    /// with a skewed write rate truncates by growth, not just by clock.
+    /// `None` (the default) leaves the timer as the only trigger.
+    pub checkpoint_bytes: Option<u64>,
+    /// Enable MVCC snapshot reads at every site: multi-version item
+    /// stores, commit-stable watermark exchange piggybacked on protocol
+    /// messages, and the [`crate::SimCluster::snapshot_read_at`] path
+    /// that never blocks on pinned copies. Off by default (and the
+    /// golden digests require it off: the piggyback changes the wire).
+    pub snapshot_reads: bool,
+    /// Versions retained per item when `snapshot_reads` is on (≥ 1;
+    /// ignored otherwise — single-version stores keep exactly 1).
+    pub version_retention: usize,
     /// Observability layer (protocol tracing, metrics registry, flight
     /// recorder). Disabled by default: no observer is constructed at
     /// all, so the simulator hot path — and the golden digests — are
@@ -100,6 +115,9 @@ impl Default for ClusterConfig {
             wal_segment_bytes: 4 << 20,
             wal_fsync: true,
             checkpoint_interval: None,
+            checkpoint_bytes: None,
+            snapshot_reads: false,
+            version_retention: 1,
             obs: ObsConfig::default(),
         }
     }
@@ -158,6 +176,20 @@ impl ClusterConfig {
     /// (builder style).
     pub fn with_checkpoints(mut self, interval: Duration) -> Self {
         self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Adds the byte-threshold checkpoint trigger (builder style).
+    pub fn with_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables MVCC snapshot reads with the given per-item version
+    /// retention (builder style; retention is clamped to ≥ 1).
+    pub fn with_snapshot_reads(mut self, retention: usize) -> Self {
+        self.snapshot_reads = true;
+        self.version_retention = retention.max(1);
         self
     }
 

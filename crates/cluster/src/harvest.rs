@@ -68,6 +68,9 @@ pub(crate) fn build_nodes(
             nc.force_latency = cfg.force_latency;
             nc.retire_after = cfg.retire_after;
             nc.checkpoint_interval = cfg.checkpoint_interval;
+            nc.checkpoint_bytes = cfg.checkpoint_bytes;
+            nc.snapshot_reads = cfg.snapshot_reads;
+            nc.version_retention = cfg.version_retention;
             if let Some(obs) = obs {
                 nc.obs = Some(Arc::clone(obs));
             }

@@ -8,7 +8,7 @@ use qbc_core::{Decision, TxnId, WriteSet};
 use qbc_db::{ReadResult, SiteNode, Violation};
 use qbc_obs::{Obs, Registry};
 use qbc_simnet::{DelayModel, Duration, Quiescence, Sim, SimConfig, SiteId, Time};
-use qbc_votes::ItemId;
+use qbc_votes::{ItemId, Version};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -81,12 +81,35 @@ pub struct Session {
     /// Session id (diagnostic only).
     pub id: u32,
     handles: Vec<TxnHandle>,
+    /// Newest snapshot-read answer per item: successive reads through
+    /// one session never go backwards, even when round-robin routing
+    /// lands them on coordinators with lagging watermarks.
+    snap_cache: BTreeMap<ItemId, (Version, i64)>,
 }
 
 impl Session {
     /// Handles submitted through this session, in submission order.
     pub fn handles(&self) -> &[TxnHandle] {
         &self.handles
+    }
+
+    /// Applies the session-monotonicity clamp: a successful answer
+    /// older than one this session already observed for the same item
+    /// is replaced by the cached newer (version, value).
+    fn observe_snapshot(&mut self, item: ItemId, r: ReadResult) -> ReadResult {
+        match r {
+            ReadResult::Success { version, value } => match self.snap_cache.get(&item) {
+                Some(&(cv, cval)) if cv > version => ReadResult::Success {
+                    version: cv,
+                    value: cval,
+                },
+                _ => {
+                    self.snap_cache.insert(item, (version, value));
+                    r
+                }
+            },
+            other => other,
+        }
     }
 }
 
@@ -164,6 +187,7 @@ impl SimCluster {
         Session {
             id,
             handles: Vec::new(),
+            snap_cache: BTreeMap::new(),
         }
     }
 
@@ -256,6 +280,70 @@ impl SimCluster {
             item,
             submitted_at: at,
         }
+    }
+
+    /// Starts a snapshot read of `item` at virtual time `at`,
+    /// coordinated round-robin like a transaction. Requires
+    /// [`ClusterConfig::snapshot_reads`]; answered from the
+    /// multi-version store at the shard watermark, so pinned copies
+    /// never make it unavailable.
+    pub fn snapshot_read_at(&mut self, at: Time, item: ItemId) -> ReadHandle {
+        assert!(
+            self.cfg.snapshot_reads,
+            "snapshot reads are off; enable ClusterConfig::snapshot_reads"
+        );
+        let shard = self
+            .map
+            .shard_of_item(item)
+            .unwrap_or_else(|| panic!("{item:?} outside the cluster's item space"));
+        let coordinator = self.pick_coordinator(shard);
+        let req_id = self.next_read;
+        self.next_read += 1;
+        self.sim.schedule_call(at, coordinator, move |node, ctx| {
+            node.start_snapshot_read(ctx, req_id, item);
+        });
+        ReadHandle {
+            req_id,
+            coordinator,
+            item,
+            submitted_at: at,
+        }
+    }
+
+    /// The outcome of a snapshot read, while its collector is alive
+    /// (collectors retire a few windows after resolving).
+    pub fn snap_read_result(&self, h: &ReadHandle) -> Option<ReadResult> {
+        self.sim.node(h.coordinator).snap_read_result(h.req_id)
+    }
+
+    /// Blocking snapshot read through a session: starts the read now,
+    /// drives the simulation until it resolves (bounded by enough
+    /// collection windows to try every copy site), and applies the
+    /// session-monotonicity clamp — successive reads of one item
+    /// through one session never go backwards.
+    pub fn snapshot_read(&mut self, session: &mut Session, item: ItemId) -> ReadResult {
+        let h = self.snapshot_read_at(self.now(), item);
+        // Worst case: one collection window per copy site, plus slack.
+        let budget = self
+            .cfg
+            .t_bound
+            .0
+            .saturating_mul(8)
+            .saturating_mul(self.cfg.replication as u64 + 2);
+        let deadline = Time(self.now().0.saturating_add(budget.max(1)));
+        let result = loop {
+            match self.snap_read_result(&h) {
+                Some(r) if r != ReadResult::Pending => break r,
+                _ => {}
+            }
+            if self.sim.now() >= deadline || !self.sim.step() {
+                break match self.snap_read_result(&h) {
+                    Some(r) if r != ReadResult::Pending => r,
+                    _ => ReadResult::Unavailable,
+                };
+            }
+        };
+        session.observe_snapshot(item, result)
     }
 
     /// Runs the cluster until virtual time `t`.

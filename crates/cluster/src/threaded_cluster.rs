@@ -63,6 +63,7 @@ pub struct ThreadedCluster {
     net: ThreadedNet<SiteNode>,
     client: SiteId,
     next_txn: u64,
+    next_read: u64,
     rr_by_shard: Vec<u64>,
     handles: Vec<TxnHandle>,
     /// Shard sets of cross-shard transactions (absent ⇒ single-shard).
@@ -95,6 +96,7 @@ impl ThreadedCluster {
             net,
             client,
             next_txn,
+            next_read: 1,
             rr_by_shard: vec![0; shards],
             handles: Vec::new(),
             xshards: BTreeMap::new(),
@@ -169,6 +171,32 @@ impl ThreadedCluster {
         let n = self.rr_by_shard[shard.0 as usize];
         self.rr_by_shard[shard.0 as usize] += 1;
         self.map.coordinator(shard, n)
+    }
+
+    /// Fires a snapshot read at a round-robin coordinator (returns
+    /// immediately; the threaded transport drops the reply to this
+    /// pseudo-client, so outcomes are observed through the obs
+    /// counters: `qbc_snapshot_reads_total` and
+    /// `qbc_snapshot_read_unavailable_total`). Requires
+    /// [`ClusterConfig::snapshot_reads`].
+    pub fn snapshot_read(&mut self, item: qbc_votes::ItemId) -> u64 {
+        assert!(
+            self.cfg.snapshot_reads,
+            "snapshot reads are off; enable ClusterConfig::snapshot_reads"
+        );
+        let shard = self
+            .map
+            .shard_of_item(item)
+            .unwrap_or_else(|| panic!("{item:?} outside the cluster's item space"));
+        let coordinator = self.pick_coordinator(shard);
+        let req_id = self.next_read;
+        self.next_read += 1;
+        self.net.inject(
+            self.client,
+            coordinator,
+            NetMsg::BeginSnapRead { req_id, item },
+        );
+        req_id
     }
 
     /// Applies a partition to the live network.

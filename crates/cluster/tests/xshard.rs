@@ -56,7 +56,10 @@ fn cross_shard_writeset_commits_end_to_end() {
         );
     }
     let reads = [c.read_at(c.now(), ItemId(0)), c.read_at(c.now(), ItemId(9))];
-    c.run_to_quiescence(1_000_000);
+    // Poll within the collectors' lifetime (resolved collectors retire
+    // a couple of windows after their timeout; quiescence would run
+    // past the retire timers and drop the entries).
+    c.run_until(Time(reads[0].submitted_at.0 + 35));
     for (r, want) in reads.iter().zip([100, 101]) {
         match c.read_result(r) {
             Some(ReadResult::Success { value, .. }) => assert_eq!(value, want),

@@ -39,8 +39,8 @@ mod xshard;
 pub use actions::{Action, TimerKind};
 pub use coordinator::{CoordPhase, Coordinator};
 pub use log::{
-    last_checkpoint, recover_state, recover_xstate, LogRecord, RecoveredTxn, RecoveredXTxn,
-    RetiredOutcome, XRetiredOutcome,
+    last_checkpoint, recover_state, recover_xstate, ItemChain, LogRecord, RecoveredTxn,
+    RecoveredXTxn, RetiredOutcome, XRetiredOutcome,
 };
 pub use messages::Msg;
 pub use participant::{FaultyMode, Participant, ParticipantConfig};
@@ -48,6 +48,7 @@ pub use rules::{Phase2Outcome, StateView, TerminationKind};
 pub use states::{LocalState, Transition};
 pub use termination::{Termination, TerminationPhase};
 pub use types::{CommitVersion, Decision, ProtocolKind, SiteVotes, TxnId, TxnSpec, WriteSet};
+pub use wal_codec::encoded_len;
 pub use xshard::{XPhase, XTxnCoordinator};
 
 /// Derives the termination rule set for a protocol kind.

@@ -144,6 +144,73 @@ fn get_spec(d: &mut Dec<'_>) -> Option<Arc<TxnSpec>> {
     }))
 }
 
+fn opt_version_len(v: Option<Version>) -> usize {
+    match v {
+        None => 1,
+        Some(_) => 9,
+    }
+}
+
+fn spec_len(spec: &TxnSpec) -> usize {
+    8 + 4
+        + (4 + 12 * spec.writeset.updates.len())
+        + (4 + 4 * spec.participants.len())
+        + 1
+        + match spec.parent {
+            None => 1,
+            Some(_) => 5,
+        }
+}
+
+/// The exact on-disk size of a record's encoding, without encoding it.
+/// Drives the bytes-since-checkpoint trigger: the node accumulates
+/// this per appended record instead of paying an allocation + encode
+/// on the logging hot path. Pinned against [`WalCodec::encode_into`] by the
+/// `encoded_len_matches_encoding` test.
+pub fn encoded_len(rec: &LogRecord) -> usize {
+    1 + match rec {
+        LogRecord::CoordinatorStart { spec } | LogRecord::Voted { spec } => spec_len(spec),
+        LogRecord::VotedNo { .. } | LogRecord::PreAbort { .. } => 8,
+        LogRecord::PreCommit { .. } => 16,
+        LogRecord::Decided { commit_version, .. } => 9 + opt_version_len(*commit_version),
+        LogRecord::XStart { branches, .. } => {
+            12 + branches.iter().map(|b| spec_len(b)).sum::<usize>()
+        }
+        LogRecord::XDecision {
+            branch_versions, ..
+        } => {
+            13 + branch_versions
+                .iter()
+                .map(|(_, v)| 4 + opt_version_len(*v))
+                .sum::<usize>()
+        }
+        LogRecord::Checkpoint {
+            retired,
+            xretired,
+            items,
+        } => {
+            (4 + retired
+                .iter()
+                .map(|r| 9 + opt_version_len(r.commit_version))
+                .sum::<usize>())
+                + (4 + xretired
+                    .iter()
+                    .map(|x| {
+                        13 + x
+                            .branches
+                            .iter()
+                            .map(|(_, ps, v)| 8 + 4 * ps.len() + opt_version_len(*v))
+                            .sum::<usize>()
+                    })
+                    .sum::<usize>())
+                + (4 + items
+                    .iter()
+                    .map(|(_, chain)| 8 + 16 * chain.len())
+                    .sum::<usize>())
+        }
+    }
+}
+
 impl WalCodec for LogRecord {
     fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
@@ -230,10 +297,13 @@ impl WalCodec for LogRecord {
                     }
                 }
                 put_u32(buf, items.len() as u32);
-                for (item, version, value) in items {
+                for (item, chain) in items {
                     put_u32(buf, item.0);
-                    put_u64(buf, version.0);
-                    put_i64(buf, *value);
+                    put_u32(buf, chain.len() as u32);
+                    for (version, value) in chain {
+                        put_u64(buf, version.0);
+                        put_i64(buf, *value);
+                    }
                 }
             }
         }
@@ -325,9 +395,14 @@ impl WalCodec for LogRecord {
                 let mut items = Vec::with_capacity(cap(n, &d));
                 for _ in 0..n {
                     let item = ItemId(d.u32()?);
-                    let version = Version(d.u64()?);
-                    let value = d.i64()?;
-                    items.push((item, version, value));
+                    let cn = d.u32()?;
+                    let mut chain = Vec::with_capacity(cap(cn, &d));
+                    for _ in 0..cn {
+                        let version = Version(d.u64()?);
+                        let value = d.i64()?;
+                        chain.push((version, value));
+                    }
+                    items.push((item, chain));
                 }
                 LogRecord::Checkpoint {
                     retired,
@@ -362,6 +437,9 @@ mod tests {
         rec.encode_into(&mut buf);
         let back = LogRecord::decode(&buf).expect("decodes");
         assert_eq!(back, rec);
+        // The arithmetic size mirror must agree with the encoder
+        // exactly (it drives the bytes-since-checkpoint trigger).
+        assert_eq!(encoded_len(&rec), buf.len(), "encoded_len for {rec:?}");
         // Truncated payloads must never decode.
         for cut in 0..buf.len() {
             assert_eq!(LogRecord::decode(&buf[..cut]), None, "cut at {cut}");
@@ -422,7 +500,11 @@ mod tests {
                     (SiteId(4), vec![], None),
                 ],
             }],
-            items: vec![(ItemId(0), Version(0), 0), (ItemId(7), Version(12), -3)],
+            items: vec![
+                (ItemId(0), vec![(Version(0), 0)]),
+                (ItemId(7), vec![(Version(10), 4), (Version(12), -3)]),
+                (ItemId(9), vec![]),
+            ],
         });
         roundtrip(LogRecord::Checkpoint {
             retired: vec![],

@@ -107,6 +107,31 @@ pub struct NodeConfig {
     /// (the default) never checkpoints (the seed behaviour: the log
     /// grows forever).
     pub checkpoint_interval: Option<Duration>,
+    /// Also checkpoint once this many bytes of log records have been
+    /// appended since the last checkpoint (measured with the on-disk
+    /// encoding, [`qbc_core::encoded_len`]). Complements the timer: a
+    /// read-mostly site with a quiet WAL stops checkpointing
+    /// pointlessly, and a write-heavy one checkpoints as soon as the
+    /// suffix balloons instead of waiting out the tick. Works alone or
+    /// alongside [`NodeConfig::checkpoint_interval`]. `None` (the
+    /// default) triggers on the timer only.
+    pub checkpoint_bytes: Option<u64>,
+    /// Enable MVCC snapshot reads: the site maintains a commit-stable
+    /// watermark (piggybacked on outgoing protocol messages), retains
+    /// [`NodeConfig::version_retention`] versions per item, and answers
+    /// [`crate::SiteNode::start_snapshot_read`] from the newest version
+    /// at or below the shard watermark — bypassing locks and pins, so
+    /// pinned copies never make a read unavailable. Off by default:
+    /// no watermark bookkeeping runs, no message is wrapped, and the
+    /// store keeps single-slot semantics (the seed behaviour, byte-
+    /// identical golden digests).
+    pub snapshot_reads: bool,
+    /// How many committed versions each item retains when
+    /// [`NodeConfig::snapshot_reads`] is on (≥ 1; clamped). With 1 the
+    /// snapshot path still works but always serves the newest committed
+    /// version; more retention lets reads land exactly at the
+    /// watermark while writers race ahead.
+    pub version_retention: usize,
     /// The observability sink this site emits protocol trace events
     /// into (shared across the cluster). `None` (the default) emits
     /// nothing: no event is even constructed, so the simulator hot
@@ -142,6 +167,9 @@ impl NodeConfig {
             retire_after: None,
             wal_backend: WalBackendConfig::Memory,
             checkpoint_interval: None,
+            checkpoint_bytes: None,
+            snapshot_reads: false,
+            version_retention: 1,
             obs: None,
             mutation_weaken_qc1: false,
         }
@@ -169,6 +197,21 @@ impl NodeConfig {
     /// Enables periodic checkpointing + log truncation (builder style).
     pub fn with_checkpoints(mut self, interval: Duration) -> Self {
         self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Also checkpoint every `bytes` of appended log records (builder
+    /// style; see [`NodeConfig::checkpoint_bytes`]).
+    pub fn with_checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables MVCC snapshot reads with the given per-item version
+    /// retention (builder style; see [`NodeConfig::snapshot_reads`]).
+    pub fn with_snapshot_reads(mut self, retention: usize) -> Self {
+        self.snapshot_reads = true;
+        self.version_retention = retention.max(1);
         self
     }
 

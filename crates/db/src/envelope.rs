@@ -12,6 +12,18 @@ use std::sync::Arc;
 pub enum NetMsg {
     /// A commit/termination protocol message.
     Proto(Msg),
+    /// A protocol message with the sender's commit-stable watermark
+    /// piggybacked on it. Only emitted when snapshot reads are enabled
+    /// ([`crate::NodeConfig::snapshot_reads`]): watermarks spread on
+    /// the messages the protocol already exchanges, costing no extra
+    /// round. A receiver records the watermark and then handles the
+    /// inner message exactly as a bare [`NetMsg::Proto`].
+    ProtoW {
+        /// The protocol message being carried.
+        msg: Msg,
+        /// The sender's site-local commit-stable watermark.
+        wm: Version,
+    },
     /// A per-transaction election message; carries the spec so sites
     /// that never saw the transaction can still take part.
     Election {
@@ -41,6 +53,28 @@ pub enum NetMsg {
         /// undecided transaction (the paper's blocked-locks effect).
         copy: Option<(Version, i64)>,
     },
+    /// Snapshot-read request for one item copy: answered from the
+    /// serving site's multi-version store at its shard watermark,
+    /// bypassing locks and pins entirely (never refused for a pinned
+    /// copy — the whole point of the snapshot path).
+    SnapReadReq {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// Item requested.
+        item: ItemId,
+    },
+    /// Reply to [`NetMsg::SnapReadReq`].
+    SnapReadRep {
+        /// Echoed request id.
+        req_id: u64,
+        /// Item.
+        item: ItemId,
+        /// `(version, value)` served at the watermark; `None` only when
+        /// the serving site holds no copy of the item at all.
+        copy: Option<(Version, i64)>,
+        /// The shard watermark the read was served at.
+        wm: Version,
+    },
     /// A client asks this site to coordinate a new transaction. This is
     /// the wire form of [`crate::SiteNode::begin_transaction`], used by
     /// front-ends (the cluster runtime) on transports that cannot call
@@ -52,6 +86,15 @@ pub enum NetMsg {
         writeset: WriteSet,
         /// Commit protocol to run.
         protocol: ProtocolKind,
+    },
+    /// A client asks this site to coordinate a snapshot read: the wire
+    /// form of [`crate::SiteNode::start_snapshot_read`], for front-ends
+    /// on transports that cannot call into a node directly.
+    BeginSnapRead {
+        /// Client-chosen request id.
+        req_id: u64,
+        /// Item to read.
+        item: ItemId,
     },
     /// A client asks this site to coordinate a *cross-shard* transaction:
     /// the wire form of [`crate::SiteNode::begin_xshard`]. The branch
@@ -69,10 +112,16 @@ pub enum NetMsg {
 impl Label for NetMsg {
     fn label(&self) -> &'static str {
         match self {
-            NetMsg::Proto(m) => m.label(),
+            // The watermark wrapper is transparent: message accounting
+            // (and the E16 comparisons built on it) keep seeing the
+            // protocol message inside.
+            NetMsg::Proto(m) | NetMsg::ProtoW { msg: m, .. } => m.label(),
             NetMsg::Election { msg, .. } => msg.label(),
             NetMsg::ReadReq { .. } => "READ-REQ",
             NetMsg::ReadRep { .. } => "READ-REP",
+            NetMsg::SnapReadReq { .. } => "SNAP-READ-REQ",
+            NetMsg::SnapReadRep { .. } => "SNAP-READ-REP",
+            NetMsg::BeginSnapRead { .. } => "BEGIN-SNAP-READ",
             NetMsg::BeginTxn { .. } => "BEGIN-TXN",
             NetMsg::BeginXTxn { .. } => "BEGIN-XTXN",
         }
@@ -94,6 +143,20 @@ pub enum NodeTimer {
     },
     /// Quorum-read collection window expired.
     ReadTimeout {
+        /// Request id.
+        req_id: u64,
+    },
+    /// Retire a finished read collector: once armed (at resolution,
+    /// one collection window after the result settled) the entry is
+    /// removed outright, bounding the per-site read tables under
+    /// sustained read load.
+    ReadRetire {
+        /// Request id.
+        req_id: u64,
+    },
+    /// A snapshot read's per-site attempt window expired: try the next
+    /// copy site, or give up after the last one.
+    SnapReadTimeout {
         /// Request id.
         req_id: u64,
     },
@@ -130,5 +193,22 @@ mod tests {
             item: ItemId(0),
         };
         assert_eq!(r.label(), "READ-REQ");
+        // The watermark wrapper is invisible to message accounting.
+        let w = NetMsg::ProtoW {
+            msg: Msg::Decided {
+                txn: TxnId(1),
+                decision: Decision::Abort,
+                commit_version: None,
+            },
+            wm: Version(3),
+        };
+        assert_eq!(w.label(), "DECIDED");
+        let s = NetMsg::SnapReadRep {
+            req_id: 2,
+            item: ItemId(1),
+            copy: Some((Version(1), 7)),
+            wm: Version(1),
+        };
+        assert_eq!(s.label(), "SNAP-READ-REP");
     }
 }

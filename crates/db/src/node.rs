@@ -68,6 +68,19 @@ struct ReadCollect {
     result: ReadResult,
 }
 
+/// A snapshot read in flight: copy sites are tried one at a time (the
+/// answer needs one live copy, not a quorum), with a timeout advancing
+/// to the next site. Exhausting `targets` — only possible through real
+/// crashes or partitions, never pinned copies — yields `Unavailable`.
+#[derive(Clone, Debug)]
+struct SnapReadCollect {
+    item: ItemId,
+    targets: Vec<SiteId>,
+    /// Next entry of `targets` to try when the current attempt times out.
+    next_target: usize,
+    result: ReadResult,
+}
+
 /// Per-transaction state hosted at this site.
 #[derive(Clone, Debug)]
 struct TxnState {
@@ -207,6 +220,10 @@ pub struct SiteNode {
     /// event times, hence monotonic — a plain queue, no heap needed).
     retire_queue: VecDeque<(Time, TxnId)>,
     reads: BTreeMap<u64, ReadCollect>,
+    /// Snapshot-read collectors. Kept apart from `reads` (different
+    /// resolution machinery) but sharing its request-id space; both
+    /// tables are bounded by the same `ReadRetire` timers.
+    snap_reads: BTreeMap<u64, SnapReadCollect>,
     violations: Vec<Violation>,
     /// Self-addressed messages processed synchronously (local delivery).
     local_queue: VecDeque<NetMsg>,
@@ -235,6 +252,38 @@ pub struct SiteNode {
     /// Log end as of the last checkpoint (including the checkpoint
     /// record itself); no new checkpoint until the log outgrows it.
     last_checkpoint_end: Lsn,
+    /// Encoded bytes of log records appended since the last checkpoint
+    /// (the [`NodeConfig::checkpoint_bytes`] trigger). Only maintained
+    /// when that threshold is configured; volatile (a post-recovery
+    /// checkpoint re-baselines it).
+    bytes_since_checkpoint: u64,
+    /// Recursion guard: the checkpoint record itself passes through
+    /// `log_record`, which must not re-enter the byte-threshold
+    /// checkpoint while one is being written.
+    checkpointing: bool,
+    /// This site's commit-stable watermark: every version at or below
+    /// it on a local copy belongs to a *decided* transaction. Monotone;
+    /// maintained only when [`NodeConfig::snapshot_reads`] is on.
+    local_wm: Version,
+    /// Highest version ever installed on a local copy.
+    vmax: Version,
+    /// Per-undecided-pinning-transaction floor on its eventual commit
+    /// version: a yes vote reporting local max `m` proves the commit
+    /// version, if any, exceeds `m`; a PreCommit record raises the floor
+    /// to `commit_version - 1`. The watermark may not pass the smallest
+    /// floor while its transaction's outcome is open here.
+    stable_floors: FastMap<TxnId, Version>,
+    /// Latest watermark heard from each peer, piggybacked on protocol
+    /// messages ([`NetMsg::ProtoW`]); max-merged so a stale delivery
+    /// never regresses it.
+    peer_watermarks: FastMap<SiteId, Version>,
+    /// The peers whose watermarks bound this site's *shard* watermark:
+    /// every other site holding a copy of any item this site hosts
+    /// (computed once from the catalog; unheard peers count as
+    /// [`Version::INITIAL`]).
+    wm_peers: Vec<SiteId>,
+    /// Shard watermark below which version GC already ran.
+    last_gc_wm: Version,
 }
 
 impl SiteNode {
@@ -270,9 +319,25 @@ impl SiteNode {
             }
         };
         let mut storage = SiteStorage::with_wal(wal);
+        storage.set_version_retention(cfg.version_retention.max(1));
         for item in catalog.items_at(cfg.site) {
             storage.initialize_item(item, initial_values(item));
         }
+        // The shard watermark is bounded by every other site that holds
+        // a copy of anything this site hosts: those are exactly the
+        // sites whose in-flight transactions can pin a local copy.
+        let wm_peers: Vec<SiteId> = if cfg.snapshot_reads {
+            let mut peers: BTreeSet<SiteId> = BTreeSet::new();
+            for item in catalog.items_at(cfg.site) {
+                if let Some(spec) = catalog.item(item) {
+                    peers.extend(spec.sites());
+                }
+            }
+            peers.remove(&cfg.site);
+            peers.into_iter().collect()
+        } else {
+            Vec::new()
+        };
         SiteNode {
             cfg,
             catalog,
@@ -284,6 +349,7 @@ impl SiteNode {
             xretired: FastMap::default(),
             retire_queue: VecDeque::new(),
             reads: BTreeMap::new(),
+            snap_reads: BTreeMap::new(),
             violations: Vec::new(),
             local_queue: VecDeque::new(),
             wal_free_at: Time::ZERO,
@@ -295,6 +361,14 @@ impl SiteNode {
             first_lsn: FastMap::default(),
             checkpoint_armed: false,
             last_checkpoint_end: Lsn(0),
+            bytes_since_checkpoint: 0,
+            checkpointing: false,
+            local_wm: Version::INITIAL,
+            vmax: Version::INITIAL,
+            stable_floors: FastMap::default(),
+            peer_watermarks: FastMap::default(),
+            wm_peers,
+            last_gc_wm: Version::INITIAL,
         }
     }
 
@@ -403,8 +477,50 @@ impl SiteNode {
     }
 
     /// The result of a quorum read started with [`SiteNode::start_read`].
+    ///
+    /// Collectors are retired a couple of collection windows after they
+    /// resolve (see [`NodeTimer::ReadRetire`]); `None` for an unknown or
+    /// already-retired request id.
     pub fn read_result(&self, req_id: u64) -> Option<ReadResult> {
         self.reads.get(&req_id).map(|r| r.result)
+    }
+
+    /// The result of a snapshot read started with
+    /// [`SiteNode::start_snapshot_read`]; retired like quorum reads.
+    pub fn snap_read_result(&self, req_id: u64) -> Option<ReadResult> {
+        self.snap_reads.get(&req_id).map(|r| r.result)
+    }
+
+    /// Number of live quorum-read collectors (bounded by retirement).
+    pub fn reads_table_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of live snapshot-read collectors (bounded by retirement).
+    pub fn snap_reads_table_len(&self) -> usize {
+        self.snap_reads.len()
+    }
+
+    /// This site's own commit-stable watermark (monotone;
+    /// [`Version::INITIAL`] when snapshot reads are off).
+    pub fn local_watermark(&self) -> Version {
+        self.local_wm
+    }
+
+    /// The shard watermark this site currently serves snapshot reads
+    /// at: its own watermark bounded by the latest one heard from every
+    /// copy-sharing peer (unheard peers count as [`Version::INITIAL`]).
+    pub fn shard_watermark(&self) -> Version {
+        let mut wm = self.local_wm;
+        for p in &self.wm_peers {
+            let pw = self
+                .peer_watermarks
+                .get(p)
+                .copied()
+                .unwrap_or(Version::INITIAL);
+            wm = wm.min(pw);
+        }
+        wm
     }
 
     /// Read-only access to the durable log (for experiments and tests).
@@ -602,6 +718,9 @@ impl SiteNode {
     /// Starts a quorum read of `item`, collecting `r(item)` votes.
     pub fn start_read(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, req_id: u64, item: ItemId) {
         let Some(spec) = self.catalog.item(item) else {
+            // Unknown item: an immediately-Unavailable collector, on the
+            // same retirement path as every other read (it used to leak
+            // here forever — no timer ever referenced it).
             self.reads.insert(
                 req_id,
                 ReadCollect {
@@ -611,6 +730,7 @@ impl SiteNode {
                     result: ReadResult::Unavailable,
                 },
             );
+            self.arm_read_retire(ctx, req_id);
             return;
         };
         self.reads.insert(
@@ -628,6 +748,131 @@ impl SiteNode {
         }
         ctx.set_timer(self.cfg.window_2t(), NodeTimer::ReadTimeout { req_id });
         self.pump(ctx);
+    }
+
+    /// Starts a snapshot read of `item` at the shard watermark.
+    ///
+    /// Locks and pins are never consulted: any single live copy site
+    /// can answer from its multi-version store, so — unlike the quorum
+    /// read — blocked transactions cannot make the item unavailable. A
+    /// local copy answers synchronously; otherwise copy sites are tried
+    /// one at a time ([`NodeTimer::SnapReadTimeout`] advances), and only
+    /// exhausting them all (crashes/partition) yields `Unavailable`.
+    pub fn start_snapshot_read(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
+        req_id: u64,
+        item: ItemId,
+    ) {
+        let Some(spec) = self.catalog.item(item) else {
+            self.snap_reads.insert(
+                req_id,
+                SnapReadCollect {
+                    item,
+                    targets: Vec::new(),
+                    next_target: 0,
+                    result: ReadResult::Unavailable,
+                },
+            );
+            self.emit(ctx.now(), None, EventKind::SnapshotReadUnavailable { item });
+            self.arm_read_retire(ctx, req_id);
+            return;
+        };
+        if let Some((version, value)) = self.storage.read_item_at(item, self.shard_watermark()) {
+            // Local copy: answered without any network round.
+            self.snap_reads.insert(
+                req_id,
+                SnapReadCollect {
+                    item,
+                    targets: Vec::new(),
+                    next_target: 0,
+                    result: ReadResult::Success {
+                        version,
+                        value: *value,
+                    },
+                },
+            );
+            self.emit(
+                ctx.now(),
+                None,
+                EventKind::SnapshotRead { item, local: true },
+            );
+            self.arm_read_retire(ctx, req_id);
+            return;
+        }
+        let me = self.cfg.site;
+        let targets: Vec<SiteId> = spec.sites().filter(|&s| s != me).collect();
+        self.snap_reads.insert(
+            req_id,
+            SnapReadCollect {
+                item,
+                targets: targets.clone(),
+                next_target: 1,
+                result: ReadResult::Pending,
+            },
+        );
+        match targets.first() {
+            Some(&to) => {
+                self.send_net(ctx, to, NetMsg::SnapReadReq { req_id, item });
+                ctx.set_timer(self.cfg.window_2t(), NodeTimer::SnapReadTimeout { req_id });
+            }
+            None => {
+                // No copy anywhere (catalog lists only this copyless
+                // site): nothing can ever answer.
+                self.snap_reads
+                    .get_mut(&req_id)
+                    .expect("just inserted")
+                    .result = ReadResult::Unavailable;
+                self.emit(ctx.now(), None, EventKind::SnapshotReadUnavailable { item });
+                self.arm_read_retire(ctx, req_id);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Arms the retirement timer that bounds both read tables: the
+    /// collector stays pollable for a couple of collection windows after
+    /// resolving, then is dropped.
+    fn arm_read_retire(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, req_id: u64) {
+        let ttl = qbc_simnet::Duration(self.cfg.window_2t().0.saturating_mul(2).max(1));
+        ctx.set_timer(ttl, NodeTimer::ReadRetire { req_id });
+    }
+
+    /// The current snapshot-read target stayed silent (crashed or
+    /// partitioned): try the next copy site, or give up once every one
+    /// has been asked.
+    fn on_snap_read_timeout(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, req_id: u64) {
+        enum Next {
+            Try(SiteId, ItemId),
+            Exhausted(ItemId),
+            Done,
+        }
+        let next = match self.snap_reads.get_mut(&req_id) {
+            Some(r) if r.result == ReadResult::Pending => {
+                match r.targets.get(r.next_target).copied() {
+                    Some(to) => {
+                        r.next_target += 1;
+                        Next::Try(to, r.item)
+                    }
+                    None => {
+                        r.result = ReadResult::Unavailable;
+                        Next::Exhausted(r.item)
+                    }
+                }
+            }
+            _ => Next::Done,
+        };
+        match next {
+            Next::Try(to, item) => {
+                self.send_net(ctx, to, NetMsg::SnapReadReq { req_id, item });
+                ctx.set_timer(self.cfg.window_2t(), NodeTimer::SnapReadTimeout { req_id });
+            }
+            Next::Exhausted(item) => {
+                self.emit(ctx.now(), None, EventKind::SnapshotReadUnavailable { item });
+                self.arm_read_retire(ctx, req_id);
+            }
+            Next::Done => {}
+        }
     }
 
     // ---- internals -----------------------------------------------------
@@ -751,10 +996,23 @@ impl SiteNode {
 
     /// Routes a self-addressed message through the local queue instead of
     /// the network: a site never loses messages to itself.
+    ///
+    /// With snapshot reads on, outbound protocol messages carry this
+    /// site's watermark piggybacked ([`NetMsg::ProtoW`]). The wrap
+    /// happens here — the last moment before the wire — so messages
+    /// deferred behind a durability barrier ship the watermark as of
+    /// the send, not as of when they were queued.
     fn send_net_now(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, to: SiteId, msg: NetMsg) {
         if to == self.cfg.site {
             self.local_queue.push_back(msg);
         } else {
+            let msg = match msg {
+                NetMsg::Proto(m) if self.cfg.snapshot_reads => NetMsg::ProtoW {
+                    msg: m,
+                    wm: self.local_wm,
+                },
+                other => other,
+            };
             if let Some(obs) = &self.cfg.obs {
                 obs.note_msg(msg.label());
             }
@@ -848,6 +1106,13 @@ impl SiteNode {
     /// Records one engine log action under the configured force policy.
     fn log_record(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, rec: LogRecord) {
         let txn = rec.txn();
+        // Sized before the record moves into the WAL; skipped entirely
+        // (a constant zero) unless the byte threshold is configured.
+        let rec_bytes = if self.cfg.checkpoint_bytes.is_some() {
+            qbc_core::encoded_len(&rec) as u64
+        } else {
+            0
+        };
         let lsn = if self.cfg.group_commit {
             let lsn = self.storage.log_buffered(rec);
             if self.storage.wal().pending_len() >= self.cfg.group_commit_max_batch {
@@ -885,12 +1150,28 @@ impl SiteNode {
         // checkpoint.) Only the checkpointer reads this map, so the
         // common no-checkpoint configuration pays nothing on the
         // logging hot path.
-        if self.cfg.checkpoint_interval.is_some() {
+        if self.checkpoints_enabled() {
             if let Some(txn) = txn {
                 self.first_lsn.entry(txn).or_insert(lsn);
             }
             self.arm_checkpoint(ctx);
         }
+        // Byte-threshold trigger: a site with a skewed write rate
+        // checkpoints when the log *grows* enough, not merely when the
+        // clock ticks. The guard keeps the checkpoint record itself
+        // (which passes through here) from re-entering.
+        if let Some(limit) = self.cfg.checkpoint_bytes {
+            self.bytes_since_checkpoint += rec_bytes;
+            if self.bytes_since_checkpoint >= limit && !self.checkpointing {
+                self.do_checkpoint(ctx);
+            }
+        }
+    }
+
+    /// True when any checkpoint trigger (periodic tick or byte
+    /// threshold) is configured — the gate on truncation bookkeeping.
+    fn checkpoints_enabled(&self) -> bool {
+        self.cfg.checkpoint_interval.is_some() || self.cfg.checkpoint_bytes.is_some()
     }
 
     /// Arms the periodic checkpoint tick if configured and not already
@@ -913,12 +1194,22 @@ impl SiteNode {
     /// effect that depends on a staged record.
     fn on_checkpoint_tick(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) {
         self.checkpoint_armed = false;
-        if self.cfg.checkpoint_interval.is_none()
-            || self.storage.wal().next_lsn() <= self.last_checkpoint_end
-        {
-            // Nothing new since the last checkpoint: stay quiet until
-            // the next record re-arms the tick.
+        if self.cfg.checkpoint_interval.is_none() {
             return;
+        }
+        if self.do_checkpoint(ctx) {
+            // Keep ticking while the site keeps logging.
+            self.arm_checkpoint(ctx);
+        }
+    }
+
+    /// Writes and forces one checkpoint record, then truncates. Shared
+    /// by the periodic tick and the byte-threshold trigger. Returns
+    /// `false` (without logging anything) when the log has not grown
+    /// since the last checkpoint — stay quiet until the next record.
+    fn do_checkpoint(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>) -> bool {
+        if self.checkpointing || self.storage.wal().next_lsn() <= self.last_checkpoint_end {
+            return false;
         }
         // Compact outcomes, sorted for a canonical on-disk encoding.
         let mut retired: Vec<RetiredOutcome> = self
@@ -945,13 +1236,15 @@ impl SiteNode {
             })
             .collect();
         xretired.sort_unstable_by_key(|x| x.txn);
-        // Snapshot the versioned copies: committed values whose records
-        // are truncated survive only here (the durable page store of a
-        // real site, folded into the log).
+        // Snapshot the versioned copies — the full retained chain per
+        // item, so a recovered multi-version store can keep serving
+        // snapshot reads below its watermark: committed values whose
+        // records are truncated survive only here (the durable page
+        // store of a real site, folded into the log).
         let item_ids: Vec<ItemId> = self.storage.items().collect();
-        let items: Vec<(ItemId, Version, i64)> = item_ids
+        let items: Vec<(ItemId, qbc_core::ItemChain)> = item_ids
             .into_iter()
-            .filter_map(|i| self.storage.read_item(i).map(|(v, val)| (i, v, *val)))
+            .filter_map(|i| self.storage.item_versions(i).map(|c| (i, c.to_vec())))
             .collect();
         // Everything below the oldest live transaction's first record
         // AND below this checkpoint is dead: retired outcomes live in
@@ -967,6 +1260,7 @@ impl SiteNode {
             .copied()
             .unwrap_or(checkpoint_lsn);
         let cutoff = live_min.min(checkpoint_lsn);
+        self.checkpointing = true;
         self.log_record(
             ctx,
             LogRecord::Checkpoint {
@@ -975,14 +1269,15 @@ impl SiteNode {
                 items,
             },
         );
+        self.checkpointing = false;
+        self.bytes_since_checkpoint = 0;
         self.last_checkpoint_end = self.storage.wal().next_lsn();
         if self.durability_barrier() {
             self.defer(DeferredOp::Truncate { cutoff });
         } else {
             self.storage.truncate_log_before(cutoff);
         }
-        // Keep ticking while the site keeps logging.
-        self.arm_checkpoint(ctx);
+        true
     }
 
     /// Drains locally queued (self-addressed) messages.
@@ -996,6 +1291,73 @@ impl SiteNode {
     fn handle_net(&mut self, ctx: &mut Ctx<'_, NetMsg, NodeTimer>, from: SiteId, msg: NetMsg) {
         match msg {
             NetMsg::Proto(m) => self.handle_proto(ctx, from, m),
+            NetMsg::ProtoW { msg: m, wm } => {
+                // Piggybacked watermark: max-merge (deliveries can
+                // reorder; a watermark never regresses) then dispatch
+                // the protocol message as if it arrived bare.
+                if self.cfg.snapshot_reads {
+                    let e = self.peer_watermarks.entry(from).or_insert(Version::INITIAL);
+                    if wm > *e {
+                        *e = wm;
+                    }
+                }
+                self.handle_proto(ctx, from, m);
+            }
+            NetMsg::SnapReadReq { req_id, item } => {
+                // Serve from the multi-version store at this site's own
+                // shard watermark — locks and pins are never consulted.
+                let wm = self.shard_watermark();
+                let copy = self
+                    .storage
+                    .read_item_at(item, wm)
+                    .map(|(v, val)| (v, *val));
+                self.send_net(
+                    ctx,
+                    from,
+                    NetMsg::SnapReadRep {
+                        req_id,
+                        item,
+                        copy,
+                        wm,
+                    },
+                );
+            }
+            NetMsg::SnapReadRep {
+                req_id,
+                item,
+                copy,
+                wm,
+            } => {
+                if self.cfg.snapshot_reads {
+                    let e = self.peer_watermarks.entry(from).or_insert(Version::INITIAL);
+                    if wm > *e {
+                        *e = wm;
+                    }
+                }
+                let resolved = match self.snap_reads.get_mut(&req_id) {
+                    Some(r) if r.result == ReadResult::Pending && r.item == item => {
+                        match copy {
+                            Some((version, value)) => {
+                                r.result = ReadResult::Success { version, value };
+                                true
+                            }
+                            // A copyless answer (catalog drift): stay
+                            // pending, the timeout advances to the next
+                            // target.
+                            None => false,
+                        }
+                    }
+                    _ => false,
+                };
+                if resolved {
+                    self.emit(
+                        ctx.now(),
+                        None,
+                        EventKind::SnapshotRead { item, local: false },
+                    );
+                    self.arm_read_retire(ctx, req_id);
+                }
+            }
             NetMsg::Election { txn, spec, msg } => {
                 self.handle_election_msg(ctx, from, txn, spec, msg)
             }
@@ -1019,6 +1381,11 @@ impl SiteNode {
             }
             NetMsg::BeginXTxn { txn, branches } => {
                 self.begin_xshard(ctx, txn, branches);
+            }
+            NetMsg::BeginSnapRead { req_id, item } => {
+                // Wire form of `start_snapshot_read` for front-ends on
+                // transports without direct node access.
+                self.start_snapshot_read(ctx, req_id, item);
             }
             NetMsg::ReadRep { req_id, item, copy } => {
                 let Some(weight) = self.catalog.item(item).map(|spec| spec.weight_at(from)) else {
@@ -1157,6 +1524,19 @@ impl SiteNode {
                 let locked = scripted_no || !self.try_lock_writeset(ctx.now(), txn, spec);
                 let st = self.txns.get_mut(&txn).expect("ensured");
                 st.participant.set_vote(!locked);
+                if !locked && self.cfg.snapshot_reads {
+                    // A yes vote pins local copies whose eventual commit
+                    // version (if any) exceeds the local max it reports:
+                    // that max floors the watermark until the decision.
+                    let floor = spec
+                        .writeset
+                        .items()
+                        .filter_map(|i| self.storage.item_version(i))
+                        .max();
+                    if let Some(floor) = floor {
+                        self.stable_floors.insert(txn, floor);
+                    }
+                }
             }
         }
         if let Msg::Vote { yes, .. } = &m {
@@ -1473,7 +1853,29 @@ impl SiteNode {
                         self.send_net(ctx, to, NetMsg::Proto(m.clone()));
                     }
                 }
-                Action::Log(rec) => self.log_record(ctx, rec),
+                Action::Log(rec) => {
+                    if self.cfg.snapshot_reads {
+                        // A PreCommit fixes the commit version: the pin
+                        // now guards exactly `commit_version`, so the
+                        // floor rises to just below it (a decided-commit
+                        // neighbor at `commit_version - 1` is stable).
+                        if let LogRecord::PreCommit {
+                            txn: pc_txn,
+                            commit_version,
+                        } = &rec
+                        {
+                            let floor = Version(commit_version.0.saturating_sub(1));
+                            let e = self
+                                .stable_floors
+                                .entry(*pc_txn)
+                                .or_insert(Version::INITIAL);
+                            if floor > *e {
+                                *e = floor;
+                            }
+                        }
+                    }
+                    self.log_record(ctx, rec)
+                }
                 Action::ApplyAndDecide {
                     decision,
                     commit_version,
@@ -1547,7 +1949,11 @@ impl SiteNode {
                     if self.storage.read_item(item).is_some() {
                         // Regression errors mean the update was already
                         // applied (recovery replay): idempotent.
-                        let _ = self.storage.apply_update(item, version, value);
+                        if self.storage.apply_update(item, version, value).is_ok()
+                            && version > self.vmax
+                        {
+                            self.vmax = version;
+                        }
                     }
                 }
             }
@@ -1563,6 +1969,39 @@ impl SiteNode {
         self.locks.release_all(&txn);
         if applied {
             self.emit(now, Some(txn), EventKind::DecisionApplied { decision });
+        }
+        if self.cfg.snapshot_reads {
+            // The decision frees this transaction's pins: its floor no
+            // longer binds the watermark, which may now advance (and the
+            // shard watermark with it, unlocking version GC).
+            self.stable_floors.remove(&txn);
+            self.refresh_watermark();
+            self.gc_versions();
+        }
+    }
+
+    /// Recomputes the local commit-stable watermark: everything at or
+    /// below `vmax` is stable except what an undecided pinning
+    /// transaction's floor still protects. Monotone by construction
+    /// (only ever raised).
+    fn refresh_watermark(&mut self) {
+        let mut wm = self.vmax;
+        for &floor in self.stable_floors.values() {
+            wm = wm.min(floor);
+        }
+        if wm > self.local_wm {
+            self.local_wm = wm;
+        }
+    }
+
+    /// Drops item versions below the *shard* watermark (the level
+    /// snapshot reads are served at — a peer may still serve reads at
+    /// its lower watermark, so GC must not outrun the minimum).
+    fn gc_versions(&mut self) {
+        let wm = self.shard_watermark();
+        if wm > self.last_gc_wm {
+            self.last_gc_wm = wm;
+            self.storage.gc_versions_below(wm);
         }
     }
 
@@ -1830,8 +2269,16 @@ impl Process for SiteNode {
                     if r.result == ReadResult::Pending {
                         r.result = ReadResult::Unavailable;
                     }
+                    // Whatever the outcome, the collector's life now has
+                    // a bound: retire it after the polling grace period.
+                    self.arm_read_retire(ctx, req_id);
                 }
             }
+            NodeTimer::ReadRetire { req_id } => {
+                self.reads.remove(&req_id);
+                self.snap_reads.remove(&req_id);
+            }
+            NodeTimer::SnapReadTimeout { req_id } => self.on_snap_read_timeout(ctx, req_id),
             NodeTimer::FlushWal => {
                 self.flush_timer = None;
                 self.flush_wal(ctx);
@@ -1859,6 +2306,7 @@ impl Process for SiteNode {
         self.xretired.clear();
         self.retire_queue.clear();
         self.reads.clear();
+        self.snap_reads.clear();
         self.locks = LockManager::new();
         self.local_queue.clear();
         self.gated_on_buffer.clear();
@@ -1870,6 +2318,17 @@ impl Process for SiteNode {
         self.first_lsn.clear();
         self.checkpoint_armed = false;
         self.last_checkpoint_end = Lsn(0);
+        self.bytes_since_checkpoint = 0;
+        self.checkpointing = false;
+        // Watermark state is volatile; recovery rebuilds floors from
+        // in-doubt records and vmax from the durable store. Peers keep
+        // their last-heard value for this site — stale but valid, since
+        // decided-ness never regresses.
+        self.stable_floors.clear();
+        self.peer_watermarks.clear();
+        self.local_wm = Version::INITIAL;
+        self.vmax = Version::INITIAL;
+        self.last_gc_wm = Version::INITIAL;
         self.emit(now, None, EventKind::Crash);
     }
 
@@ -1882,12 +2341,13 @@ impl Process for SiteNode {
             None => (Vec::new(), Vec::new(), Vec::new()),
         };
         // Item snapshot before the replay passes: suffix records carry
-        // only post-checkpoint updates. `apply_update` is monotone, so
-        // never-written copies (snapshot at the initial version) fall
-        // through to the load-time value harmlessly.
-        for (item, version, value) in ck_items {
+        // only post-checkpoint updates. Chain installation is additive
+        // and idempotent, so never-written copies (snapshot at the
+        // initial version) fall through to the load-time value
+        // harmlessly.
+        for (item, chain) in ck_items {
             if self.storage.read_item(item).is_some() {
-                let _ = self.storage.apply_update(item, version, value);
+                self.storage.install_item_chain(item, &chain);
             }
         }
         for o in ck_retired {
@@ -1967,6 +2427,24 @@ impl Process for SiteNode {
                     if self.storage.read_item(item).is_some() {
                         let _ = self.locks.acquire(txn, item, LockMode::Exclusive);
                         self.emit(ctx.now(), Some(txn), EventKind::PinStart { item });
+                    }
+                }
+                if self.cfg.snapshot_reads {
+                    // Rebuild the watermark floor the in-doubt pin
+                    // imposes: at least the current local max of its
+                    // writeset copies, raised to just below the commit
+                    // version when a PreCommit record fixed it.
+                    let mut floor = spec
+                        .writeset
+                        .items()
+                        .filter_map(|i| self.storage.item_version(i))
+                        .max();
+                    if let Some(cv) = rec.commit_version {
+                        let pc = Version(cv.0.saturating_sub(1));
+                        floor = Some(floor.map_or(pc, |f| f.max(pc)));
+                    }
+                    if let Some(floor) = floor {
+                        self.stable_floors.insert(txn, floor);
                     }
                 }
             }
@@ -2092,6 +2570,20 @@ impl Process for SiteNode {
         let (txns, xcoords) = (&self.txns, &self.xcoords);
         self.first_lsn
             .retain(|t, _| txns.contains_key(t) || xcoords.contains_key(t));
+        if self.cfg.snapshot_reads {
+            // Rebuild vmax from the durable store (every installed
+            // version survived in the chains) and recompute the local
+            // watermark over the floors the in-doubt pass re-imposed.
+            let items: Vec<ItemId> = self.storage.items().collect();
+            for i in items {
+                if let Some(v) = self.storage.item_version(i) {
+                    if v > self.vmax {
+                        self.vmax = v;
+                    }
+                }
+            }
+            self.refresh_watermark();
+        }
         // Emitted after the re-pins above: recovery's re-acquired locks
         // register while the site still counts as down, so the
         // availability tracker sees the copies stay inaccessible across
@@ -2189,8 +2681,11 @@ impl qbc_simnet::Fingerprint for SiteNode {
         // record order is fixed by the site's own event order, so
         // hashing it does not break cross-site delivery commutation.
         for item in self.storage.items() {
-            let copy = self.storage.read_item(item);
-            let _ = write!(s, "i{item:?}={copy:?};");
+            // The whole retained chain: with version retention > 1 the
+            // older versions are observable (snapshot reads), so states
+            // differing only there must not merge.
+            let chain = self.storage.item_versions(item);
+            let _ = write!(s, "i{item:?}={chain:?};");
         }
         let wal = self.storage.wal();
         let _ = write!(s, "|wal@{:?}", wal.start_lsn());
@@ -2216,6 +2711,23 @@ impl qbc_simnet::Fingerprint for SiteNode {
             "|ckpt{}@{:?}",
             self.checkpoint_armed, self.last_checkpoint_end
         );
+        // Snapshot-read machinery (all constant when the feature is
+        // off, so legacy state spaces merge exactly as before).
+        let _ = write!(s, "|snreads{:?}", self.snap_reads);
+        let _ = write!(s, "|ckb{}", self.bytes_since_checkpoint);
+        let _ = write!(
+            s,
+            "|wm{:?},{:?},{:?}",
+            self.local_wm, self.vmax, self.last_gc_wm
+        );
+        let mut floors: Vec<(TxnId, Version)> =
+            self.stable_floors.iter().map(|(t, v)| (*t, *v)).collect();
+        floors.sort_unstable();
+        let _ = write!(s, "|floors{floors:?}");
+        let mut pws: Vec<(SiteId, Version)> =
+            self.peer_watermarks.iter().map(|(p, v)| (*p, *v)).collect();
+        pws.sort_unstable();
+        let _ = write!(s, "|pwm{pws:?}");
         h.write(s.as_bytes());
         // Per-transaction engines, sorted by id.
         let mut ids: Vec<TxnId> = self.txns.keys().copied().collect();

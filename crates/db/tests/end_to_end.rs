@@ -291,7 +291,10 @@ fn quorum_read_returns_latest_committed_value() {
     sim.schedule_call(Time(1_000), SiteId(2), |node, ctx| {
         node.start_read(ctx, 900, ItemId(0));
     });
-    sim.run_until(Time(2_000));
+    // Poll after the collection window but before the collector retires
+    // (read tables are bounded: entries are dropped a couple of windows
+    // after resolving).
+    sim.run_until(Time(1_040));
     match sim.node(SiteId(2)).read_result(900) {
         Some(qbc_db::ReadResult::Success { value, .. }) => assert_eq!(value, 123),
         other => panic!("read should succeed, got {other:?}"),
@@ -313,7 +316,9 @@ fn quorum_read_fails_while_item_is_pinned_by_blocked_txn() {
     sim.schedule_call(Time(1_000), SiteId(2), |node, ctx| {
         node.start_read(ctx, 901, ItemId(0));
     });
-    sim.run_until(Time(3_000));
+    // The collection window (2T = 20) expires at t=1020; poll before
+    // the resolved collector retires.
+    sim.run_until(Time(1_040));
     assert_eq!(
         sim.node(SiteId(2)).read_result(901),
         Some(qbc_db::ReadResult::Unavailable),

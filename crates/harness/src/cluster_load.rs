@@ -27,6 +27,14 @@ pub struct ClusterLoadConfig {
     /// (routed through the cross-shard two-layer commit). Zero keeps
     /// the single-shard-only workload.
     pub xshard_fraction: f64,
+    /// Fraction of submission slots that *also* fire a read of a random
+    /// item alongside the write transaction. Reads go through the
+    /// quorum path ([`SimCluster::read_at`]) unless the cluster has
+    /// [`ClusterConfig::snapshot_reads`] on, in which case they use the
+    /// watermark snapshot path. Zero keeps the write-only workload and
+    /// leaves the RNG stream — and so every pre-existing seeded
+    /// workload — bit-identical.
+    pub read_fraction: f64,
     /// Ticks between one client's consecutive submissions.
     pub think_time: u64,
     /// RNG seed for writesets and shard choice.
@@ -47,6 +55,7 @@ impl Default for ClusterLoadConfig {
             txns_per_client: 4,
             items_per_txn: 2,
             xshard_fraction: 0.0,
+            read_fraction: 0.0,
             think_time: 60,
             seed: 0,
         }
@@ -63,6 +72,14 @@ pub struct ClusterLoadReport {
     pub submitted: u64,
     /// Of those, writesets spanning two shards.
     pub cross_shard: u64,
+    /// Reads fired alongside the write stream (zero unless
+    /// [`ClusterLoadConfig::read_fraction`] is set).
+    pub reads_issued: u64,
+    /// Of those, reads that resolved with a committed value.
+    pub reads_success: u64,
+    /// Of those, reads that resolved `Unavailable` (pinned copies under
+    /// the quorum path, or no reachable copy under the snapshot path).
+    pub reads_unavailable: u64,
     /// Transactions committed.
     pub committed: u64,
     /// Transactions aborted.
@@ -101,6 +118,7 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
     let mut sessions: Vec<_> = (0..cfg.clients).map(|_| cluster.open_session()).collect();
     let mut last_submission = Time::ZERO;
     let mut cross_shard = 0u64;
+    let mut pending_reads: Vec<qbc_cluster::ReadHandle> = Vec::new();
     for j in 0..cfg.txns_per_client {
         for (c, session) in sessions.iter_mut().enumerate() {
             // Stagger clients inside one think window so submissions
@@ -145,6 +163,22 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
                     .map(|i: ItemId| (i, rng.gen_range(0..1_000_000i64))),
             );
             cluster.submit(session, at, ws);
+            // Same short-circuit discipline as `go_wide`: a zero read
+            // fraction must not draw from the RNG at all.
+            if cfg.read_fraction > 0.0 && rng.gen_bool(cfg.read_fraction.clamp(0.0, 1.0)) {
+                let shard = *shards.choose(&mut rng).expect("at least one shard");
+                let item = *cluster
+                    .map()
+                    .items_of(shard)
+                    .choose(&mut rng)
+                    .expect("shards are non-empty");
+                let h = if cfg.cluster.snapshot_reads {
+                    cluster.snapshot_read_at(at, item)
+                } else {
+                    cluster.read_at(at, item)
+                };
+                pending_reads.push(h);
+            }
             if at > last_submission {
                 last_submission = at;
             }
@@ -153,12 +187,44 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
 
     // Drive in slices, harvesting between them so peak queue depth and
     // device backlog are observed live rather than only at the end.
-    let slice = (cfg.think_time.max(1)) * 4;
+    // With reads in flight the slices shrink and extend past the last
+    // submission: read collectors retire a couple of collection windows
+    // after resolving (the read tables are bounded), so results must be
+    // polled while the entries are still present.
+    let reads_issued = pending_reads.len() as u64;
+    let mut reads_success = 0u64;
+    let mut reads_unavailable = 0u64;
+    let snap = cfg.cluster.snapshot_reads;
+    let (slice, drive_end) = if pending_reads.is_empty() {
+        ((cfg.think_time.max(1)) * 4, last_submission)
+    } else {
+        (25, Time(last_submission.0 + 200))
+    };
     let mut t = Time::ZERO;
-    while t < last_submission {
+    while t < drive_end {
         t = Time(t.0 + slice);
         cluster.run_until(t);
         let _ = cluster.metrics();
+        pending_reads.retain(|h| {
+            let r = if snap {
+                cluster.snap_read_result(h)
+            } else {
+                cluster.read_result(h)
+            };
+            match r {
+                Some(qbc_db::ReadResult::Success { .. }) => {
+                    reads_success += 1;
+                    false
+                }
+                Some(qbc_db::ReadResult::Unavailable) => {
+                    reads_unavailable += 1;
+                    false
+                }
+                // Still collecting (or already retired unobserved:
+                // counted in neither bucket).
+                _ => true,
+            }
+        });
     }
     let mut settled = false;
     for _ in 0..200 {
@@ -182,6 +248,9 @@ pub fn run_cluster_load(cfg: &ClusterLoadConfig) -> ClusterLoadReport {
     ClusterLoadReport {
         submitted,
         cross_shard,
+        reads_issued,
+        reads_success,
+        reads_unavailable,
         committed,
         aborted,
         undecided,
@@ -315,6 +384,49 @@ mod tests {
             heavy_adaptive.wal_forces,
             heavy_plain.wal_forces
         );
+    }
+
+    #[test]
+    fn read_heavy_snapshot_load_observes_every_read() {
+        // Snapshot reads under a concurrent write stream: every issued
+        // read resolves while its collector is still alive, and the
+        // watermark path never reports Unavailable while all sites are
+        // up (copies pinned by in-flight commits are read *under* the
+        // pins).
+        let cfg = ClusterLoadConfig {
+            read_fraction: 0.5,
+            seed: 21,
+            cluster: ClusterConfig::default().with_snapshot_reads(4),
+            ..Default::default()
+        };
+        let r = run_cluster_load(&cfg);
+        assert!(r.consistent);
+        assert!(r.reads_issued > 0, "the read coin never landed");
+        assert_eq!(
+            r.reads_success + r.reads_unavailable,
+            r.reads_issued,
+            "every read must be observed before its collector retires"
+        );
+        assert_eq!(
+            r.reads_unavailable, 0,
+            "snapshot reads must not be blocked by pinned copies"
+        );
+    }
+
+    #[test]
+    fn read_heavy_quorum_load_observes_every_read() {
+        // Same workload over the quorum read path: everything still
+        // resolves in-window; availability is not asserted (pinned
+        // copies can legitimately return Unavailable here).
+        let cfg = ClusterLoadConfig {
+            read_fraction: 0.5,
+            seed: 21,
+            ..Default::default()
+        };
+        let r = run_cluster_load(&cfg);
+        assert!(r.consistent);
+        assert!(r.reads_issued > 0);
+        assert_eq!(r.reads_success + r.reads_unavailable, r.reads_issued);
     }
 
     #[test]

@@ -100,6 +100,21 @@ pub enum EventKind {
         /// The released item.
         item: ItemId,
     },
+    /// A snapshot read was answered from the multi-version store at
+    /// the shard watermark — locks and pins never refused it.
+    SnapshotRead {
+        /// Item served.
+        item: ItemId,
+        /// True when the coordinator answered from its own copy
+        /// (no network round at all).
+        local: bool,
+    },
+    /// A snapshot read exhausted every copy site without an answer
+    /// (crashes or partition; pinned copies can never cause this).
+    SnapshotReadUnavailable {
+        /// Item requested.
+        item: ItemId,
+    },
     /// The WAL device completed a force.
     WalForce {
         /// Records made durable by this force.
@@ -133,6 +148,12 @@ impl fmt::Display for EventKind {
             EventKind::Blocked => write!(f, "blocked"),
             EventKind::PinStart { item } => write!(f, "pin-start {item}"),
             EventKind::PinEnd { item } => write!(f, "pin-end {item}"),
+            EventKind::SnapshotRead { item, local } => {
+                write!(f, "snapshot-read {item} local={local}")
+            }
+            EventKind::SnapshotReadUnavailable { item } => {
+                write!(f, "snapshot-read-unavailable {item}")
+            }
             EventKind::WalForce { records } => write!(f, "wal-force records={records}"),
             EventKind::Crash => write!(f, "crash"),
             EventKind::Recover => write!(f, "recover"),

@@ -95,6 +95,9 @@ struct Counters {
     termination_rounds: u64,
     blocked_declared: u64,
     outcome_discoveries: u64,
+    snapshot_reads: u64,
+    snapshot_reads_local: u64,
+    snapshot_read_unavailable: u64,
     dumps: u64,
 }
 
@@ -187,6 +190,18 @@ impl Obs {
     /// Total WAL forces observed.
     pub fn wal_forces(&self) -> u64 {
         self.lock().counters.wal_forces
+    }
+
+    /// Total snapshot reads answered, with the locally-served share:
+    /// `(total, local)`.
+    pub fn snapshot_reads(&self) -> (u64, u64) {
+        let g = self.lock();
+        (g.counters.snapshot_reads, g.counters.snapshot_reads_local)
+    }
+
+    /// Snapshot reads that exhausted every copy site without an answer.
+    pub fn snapshot_read_unavailable(&self) -> u64 {
+        self.lock().counters.snapshot_read_unavailable
     }
 
     /// Commit-latency decomposition histograms.
@@ -326,6 +341,24 @@ impl Obs {
             &[],
             "cross-shard outcome discovery requests sent",
             c.outcome_discoveries,
+        );
+        r.counter(
+            "qbc_snapshot_reads_total",
+            &[("served", "local".to_string())],
+            "snapshot reads answered from the coordinator's own copy",
+            c.snapshot_reads_local,
+        );
+        r.counter(
+            "qbc_snapshot_reads_total",
+            &[("served", "remote".to_string())],
+            "snapshot reads answered by a remote copy site",
+            c.snapshot_reads - c.snapshot_reads_local,
+        );
+        r.counter(
+            "qbc_snapshot_read_unavailable_total",
+            &[],
+            "snapshot reads that exhausted every copy site",
+            c.snapshot_read_unavailable,
         );
         r.counter(
             "qbc_flight_dumps_total",
@@ -482,6 +515,15 @@ impl Obs {
                 if let Some(txn) = ev.txn {
                     g.blocking.blocked(ev.at, ev.site, txn);
                 }
+            }
+            EventKind::SnapshotRead { local, .. } => {
+                g.counters.snapshot_reads += 1;
+                if local {
+                    g.counters.snapshot_reads_local += 1;
+                }
+            }
+            EventKind::SnapshotReadUnavailable { .. } => {
+                g.counters.snapshot_read_unavailable += 1;
             }
             EventKind::ElectionStarted => g.counters.elections += 1,
             EventKind::TerminationRound { .. } => g.counters.termination_rounds += 1,

@@ -96,14 +96,41 @@ impl<R, V: Clone, W: WalBackend<R>> SiteStorage<R, V, W> {
         self.items.apply(item, version, value)
     }
 
-    /// Reads the local copy of an item.
+    /// Reads the newest local copy of an item.
     pub fn read_item(&self, item: ItemId) -> Option<(Version, &V)> {
         self.items.read(item)
     }
 
-    /// Version of the local copy of an item.
+    /// Reads the newest local copy at or below `at` (snapshot read);
+    /// falls back to the oldest retained version when all are newer.
+    pub fn read_item_at(&self, item: ItemId, at: Version) -> Option<(Version, &V)> {
+        self.items.read_at(item, at)
+    }
+
+    /// Version of the newest local copy of an item.
     pub fn item_version(&self, item: ItemId) -> Option<Version> {
         self.items.version(item)
+    }
+
+    /// Full retained version chain of an item, ascending.
+    pub fn item_versions(&self, item: ItemId) -> Option<&[(Version, V)]> {
+        self.items.versions(item)
+    }
+
+    /// Sets how many versions each item retains (≥ 1; default 1).
+    pub fn set_version_retention(&mut self, retention: usize) {
+        self.items.set_retention(retention);
+    }
+
+    /// Drops item versions a monotone watermark has made unreachable.
+    pub fn gc_versions_below(&mut self, watermark: Version) {
+        self.items.gc_below(watermark);
+    }
+
+    /// Installs a recovered version chain wholesale (checkpoint
+    /// recovery); already-present versions are skipped.
+    pub fn install_item_chain(&mut self, item: ItemId, chain: &[(Version, V)]) {
+        self.items.install_chain(item, chain);
     }
 
     /// Items stored at this site.

@@ -121,10 +121,14 @@ fn docs_references_to_code_paths_exist() {
         "crates/bench/src/bin/e14_sim_throughput.rs",
         "crates/bench/src/bin/e15_file_wal.rs",
         "crates/bench/src/bin/e16_protocol_metrics.rs",
+        "crates/bench/src/bin/e17_read_availability.rs",
+        "crates/cluster/tests/snapshot_reads.rs",
+        "crates/db/tests/read_tables.rs",
         "BENCH_e14.json",
         "BENCH_e15.json",
         "BENCH_e16.json",
         "BENCH_e16_flightdump.txt",
+        "BENCH_e17.json",
     ] {
         assert!(
             root.join(rel).exists(),
