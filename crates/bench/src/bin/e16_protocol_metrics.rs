@@ -2,7 +2,8 @@
 //! and the Gray & Lamport message/force comparison across protocols.
 //!
 //! Runs the *identical* deterministic submission schedule under each
-//! commit protocol (2PC, 3PC, Skeen's quorum protocol, QC1, QC2), twice
+//! commit protocol (2PC, 3PC, Skeen's quorum protocol, QC1, QC2, and
+//! Paxos Commit), twice
 //! per protocol: a fault-free cell and a coordinator-crash cell (one
 //! site down mid-stream, recovered later). The observability layer
 //! (`qbc-obs`) decomposes commit latency into vote / prepare / decide
@@ -27,12 +28,13 @@ use qbc_obs::LatencyHistogram;
 use qbc_simnet::{Duration, SiteId, Time};
 use std::fmt::Write as _;
 
-const PROTOCOLS: [ProtocolKind; 5] = [
+const PROTOCOLS: [ProtocolKind; 6] = [
     ProtocolKind::TwoPhase,
     ProtocolKind::ThreePhase,
     ProtocolKind::SkeenQuorum,
     ProtocolKind::QuorumCommit1,
     ProtocolKind::QuorumCommit2,
+    ProtocolKind::PaxosCommit,
 ];
 
 /// One replica group, three sites, one vote per copy, r = w = 2 — the

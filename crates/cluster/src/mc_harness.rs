@@ -76,6 +76,20 @@ pub fn single_shard_host(
     host
 }
 
+/// The Paxos Commit checker host: [`single_shard_host`] pinned to
+/// [`ProtocolKind::PaxosCommit`]. Over the 3-site catalog the 2F+1
+/// acceptors are co-located with the participants (F = 1, majority 2),
+/// the submitting site doubles as the ballot-0 leader, and leader
+/// failover is any participant's watchdog standing up a recovery
+/// candidate — so the same host shape that closes the quorum-commit
+/// spaces closes this engine's too.
+pub fn paxos_host(
+    host_cfg: HostConfig,
+    customize: impl FnMut(NodeConfig) -> NodeConfig,
+) -> ControlledHost<SiteNode> {
+    single_shard_host(ProtocolKind::PaxosCommit, host_cfg, customize)
+}
+
 /// A 2-shard cross-shard host: shard A = sites {0, 1} replicating item
 /// 0 (`w = 2`), shard B = site {2} holding item 1, and one cross-shard
 /// transaction (`TxnId(1)`) writing both items, parented at site 0.

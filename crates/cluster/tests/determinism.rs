@@ -10,7 +10,7 @@
 //! with a commit message explaining *why* the schedule changed.
 
 use qbc_cluster::{ClusterConfig, SimCluster};
-use qbc_core::{Decision, WriteSet};
+use qbc_core::{Decision, ProtocolKind, WriteSet};
 use qbc_simnet::{SiteId, Time};
 use qbc_votes::ItemId;
 
@@ -21,6 +21,11 @@ const GOLDEN_DIGEST: u64 = 0x2bb70a66ca8e2556;
 /// commit) schedule, pinned the same way. Re-derive with
 /// `QBC_PRINT_XSHARD_DIGEST=1`.
 const GOLDEN_XSHARD_DIGEST: u64 = 0x9b3c32b97d00abd7;
+
+/// The pinned digest of `paxos_scenario()`: the Paxos Commit engine
+/// under a leader crash, pinned the same way. Re-derive with
+/// `QBC_PRINT_PAXOS_DIGEST=1`.
+const GOLDEN_PAXOS_DIGEST: u64 = 0x71e157fb16e6c888;
 
 fn fnv1a(h: u64, word: u64) -> u64 {
     let mut h = h;
@@ -153,6 +158,62 @@ fn xshard_scenario() -> u64 {
     digest
 }
 
+/// A deterministic Paxos Commit scenario: one shard of three co-located
+/// acceptors under mixed load, the ballot-0 leader site crashing
+/// mid-stream and recovering (exercising Phase-1 recovery candidacy,
+/// adopted-batch re-proposal, and the decided-site 1a answer).
+fn paxos_scenario() -> u64 {
+    let cfg = ClusterConfig {
+        shards: 1,
+        sites_per_shard: 3,
+        replication: 3,
+        items_per_shard: 12,
+        protocol: ProtocolKind::PaxosCommit,
+        seed: 1988,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::new(cfg);
+    cluster.sim_mut().schedule_crash(Time(110), SiteId(0));
+    cluster.sim_mut().schedule_recover(Time(750), SiteId(0));
+
+    for i in 0..32u64 {
+        let a = ItemId((i % 12) as u32);
+        let b = ItemId(((i * 7 + 3) % 12) as u32);
+        let ws = if a == b {
+            WriteSet::new([(a, i as i64)])
+        } else {
+            WriteSet::new([(a, i as i64), (b, (i * 19) as i64)])
+        };
+        cluster.submit_at(Time(i * 21), ws);
+    }
+    for _ in 0..50 {
+        if cluster.run_to_quiescence(5_000_000).drained() {
+            break;
+        }
+    }
+
+    let mut digest = 0xcbf29ce484222325u64;
+    let handles: Vec<_> = cluster.handles().to_vec();
+    for h in &handles {
+        let d = match cluster.decision(h) {
+            Some(Decision::Commit) => 1u64,
+            Some(Decision::Abort) => 2,
+            None => 3,
+        };
+        let at = cluster
+            .sim()
+            .node(h.coordinator)
+            .decided_at(h.txn)
+            .map_or(0, |t| t.0);
+        digest = fnv1a(digest, h.txn.0);
+        digest = fnv1a(digest, d);
+        digest = fnv1a(digest, at);
+    }
+    digest = fnv1a(digest, cluster.now().0);
+    digest = fnv1a(digest, cluster.sim().events_processed());
+    digest
+}
+
 #[test]
 fn fixed_seed_scenario_matches_golden_digest() {
     let digest = scenario();
@@ -190,6 +251,29 @@ fn xshard_scenario_is_self_consistent_across_two_runs() {
     assert_eq!(
         xshard_scenario(),
         xshard_scenario(),
+        "same-process nondeterminism"
+    );
+}
+
+#[test]
+fn fixed_seed_paxos_scenario_matches_golden_digest() {
+    let digest = paxos_scenario();
+    if std::env::var("QBC_PRINT_PAXOS_DIGEST").is_ok() {
+        panic!("paxos digest = {digest:#x}");
+    }
+    assert_eq!(
+        digest, GOLDEN_PAXOS_DIGEST,
+        "Paxos Commit event schedule changed: got {digest:#x}, pinned \
+         {GOLDEN_PAXOS_DIGEST:#x}. A perf refactor must be \
+         schedule-preserving; see module docs."
+    );
+}
+
+#[test]
+fn paxos_scenario_is_self_consistent_across_two_runs() {
+    assert_eq!(
+        paxos_scenario(),
+        paxos_scenario(),
         "same-process nondeterminism"
     );
 }

@@ -218,6 +218,130 @@ fn pinned_mutation_counterexample_reproduces_the_violation() {
     assert!(dump.contains("flight recorder"), "{dump}");
 }
 
+/// Builds the Paxos mutation host: weakened acceptor quorum (F 2b
+/// echoes instead of F+1), one leader crash, four message losses — the
+/// budgets the `weakened_paxos_mutation_is_caught_with_replayable_trace`
+/// search in `model_check.rs` uses.
+fn paxos_mutation_host(weakened: bool) -> ControlledHost<SiteNode> {
+    single_shard_host(
+        ProtocolKind::PaxosCommit,
+        HostConfig {
+            crash_sites: vec![S0],
+            max_crashes: 1,
+            max_drops: 4,
+            ..HostConfig::default()
+        },
+        move |cfg| {
+            if weakened {
+                cfg.with_weakened_paxos()
+            } else {
+                cfg
+            }
+        },
+    )
+}
+
+/// The counterexample the checker finds for the seeded acceptor-quorum
+/// mutation, pinned by shape: under `weaken`, F = 1 acceptance
+/// suffices, so the ballot-0 leader reaches a durable `Decided{Commit}`
+/// off its own co-located acceptor's 2b alone — before any other
+/// acceptor saw the 2a. Dropping both outbound 2a's and both commit
+/// announcements and crashing the leader leaves survivors whose
+/// recovery quorum (also weakened to one promise — its own) saw nothing
+/// accepted: presumed abort, split-brain against the leader's log.
+///
+/// The honest F+1 rule makes this impossible by quorum intersection:
+/// any decision quorum and any recovery quorum share an acceptor, so a
+/// chosen batch is always visible to the candidate (the
+/// `recovery_adopts_accepted_value_and_reruns_phase2` unit test drives
+/// that path directly).
+#[test]
+fn pinned_paxos_mutation_counterexample_reproduces_the_violation() {
+    let mut h = paxos_mutation_host(true);
+
+    deliver(&mut h, CLIENT, S0, "BeginTxn"); // 0
+    deliver(&mut h, S0, S1, "VoteReq"); // 1
+    deliver(&mut h, S0, S2, "VoteReq"); // 2
+    deliver(&mut h, S1, S0, "Vote"); // 3
+    deliver(&mut h, S2, S0, "Vote"); // 4
+
+    // The mutated leader is durably committed: its own acceptor's 2b
+    // (local self-delivery) met the weakened quorum of one.
+    assert!(
+        h.node(S0).log_records().any(|r| matches!(
+            r,
+            LogRecord::Decided {
+                txn: TxnId(1),
+                decision: Decision::Commit,
+                ..
+            }
+        )),
+        "weakened acceptor quorum must choose on the self-echo alone"
+    );
+
+    drop_msg(&mut h, S0, S1, "PaxosP2a"); // 5
+    drop_msg(&mut h, S0, S2, "PaxosP2a"); // 6
+    drop_msg(&mut h, S0, S1, "Commit"); // 7
+    drop_msg(&mut h, S0, S2, "Commit"); // 8
+    h.apply(Choice::Crash { site: S0 }); // 9
+
+    // One watchdog fire is the whole failover under the mutation: the
+    // candidate's weakened Phase-1 quorum is its own acceptor, which
+    // accepted nothing — presumed abort, driven through a (weakened)
+    // Phase 2 against itself, all in local self-delivery.
+    h.apply(Choice::Fire { site: S2 }); // 10: CoordinatorWatch
+    assert_eq!(h.node(S2).decision(TxnId(1)), Some(Decision::Abort));
+
+    // The violation: a durable commit in the crashed leader's log, an
+    // abort among the survivors.
+    let violation = atomicity(vec![TxnId(1)])(&h).expect_err("the pinned schedule must violate");
+    assert!(violation.contains("committed"), "{violation}");
+}
+
+/// The same adversarial schedule against the real F+1 rule: the
+/// leader's own 2b echo is one acceptance short of a quorum, so no
+/// commit ever becomes durable; the crash leaves the survivors'
+/// recovery candidates to presume abort — correctly, because nothing
+/// was chosen — and atomicity holds throughout.
+#[test]
+fn pinned_paxos_mutation_schedule_is_harmless_without_the_mutation() {
+    let mut h = paxos_mutation_host(false);
+
+    deliver(&mut h, CLIENT, S0, "BeginTxn");
+    deliver(&mut h, S0, S1, "VoteReq");
+    deliver(&mut h, S0, S2, "VoteReq");
+    deliver(&mut h, S1, S0, "Vote");
+    deliver(&mut h, S2, S0, "Vote");
+
+    // Real rule: the self-echo is 1 of F+1 = 2; no decision yet, and
+    // no Commit announcements exist to drop.
+    assert_eq!(h.node(S0).decision(TxnId(1)), None);
+
+    drop_msg(&mut h, S0, S1, "PaxosP2a");
+    drop_msg(&mut h, S0, S2, "PaxosP2a");
+    h.apply(Choice::Crash { site: S0 });
+
+    drain(&mut h, 300);
+    for s in [S1, S2] {
+        assert_eq!(
+            h.node(s).decision(TxnId(1)),
+            Some(Decision::Abort),
+            "{s}: survivors abort the unchosen transaction"
+        );
+    }
+    assert!(
+        !h.node(S0).log_records().any(|r| matches!(
+            r,
+            LogRecord::Decided {
+                txn: TxnId(1),
+                decision: Decision::Commit,
+                ..
+            }
+        )),
+        "the honest leader must not hold a durable commit"
+    );
+}
+
 /// The same adversarial schedule against the *real* commit rule: with
 /// four losses and the coordinator crash, the survivors still abort —
 /// but the coordinator never reached its commit point, so there is no

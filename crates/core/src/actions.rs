@@ -58,6 +58,21 @@ pub enum TimerKind {
         /// Cross-shard transaction.
         txn: TxnId,
     },
+    /// Paxos Commit recovery candidate collecting Phase-1b promises
+    /// (`2T`).
+    Paxos1bCollection {
+        /// Transaction.
+        txn: TxnId,
+        /// Candidate's ballot.
+        bal: u64,
+    },
+    /// Paxos Commit leader collecting Phase-2b acceptances (`2T`).
+    Paxos2bCollection {
+        /// Transaction.
+        txn: TxnId,
+        /// Leader's ballot.
+        bal: u64,
+    },
 }
 
 /// An effect requested by a protocol engine.

@@ -352,6 +352,11 @@ impl Coordinator {
             }
             // QC2: r(x) PC-ACK votes for some x.
             ProtocolKind::QuorumCommit2 => self.tallies.iter().any(|t| t.acked >= t.read_quorum),
+            // Paxos Commit runs its own engine ([`crate::PaxosLeader`]);
+            // this coordinator never drives it.
+            ProtocolKind::PaxosCommit => {
+                unreachable!("Paxos Commit transactions use PaxosLeader, not Coordinator")
+            }
         }
     }
 
@@ -438,6 +443,9 @@ impl Coordinator {
                 }
             }
             ProtocolKind::TwoPhase => Vec::new(),
+            ProtocolKind::PaxosCommit => {
+                unreachable!("Paxos Commit transactions use PaxosLeader, not Coordinator")
+            }
         }
     }
 }

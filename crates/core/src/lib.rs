@@ -11,6 +11,7 @@
 //! | [`Coordinator`] (`ProtocolKind::ThreePhase`) | Fig. 2, Skeen's 3PC |
 //! | [`Coordinator`] (`ProtocolKind::SkeenQuorum`) | Skeen's quorum commit `[16]` |
 //! | [`Coordinator`] (`ProtocolKind::QuorumCommit1/2`) | Fig. 9, QC1/QC2 |
+//! | [`PaxosLeader`] + [`PaxosAcceptor`] (`ProtocolKind::PaxosCommit`) | Gray & Lamport's Paxos Commit (comparison engine) |
 //! | [`Participant`] | Fig. 5 "PARTICIPANTS" (all variants) |
 //! | [`Termination`] + [`rules`] | Figs. 5 & 8, TP1/TP2 + baselines |
 //! | [`LocalState`]/[`Transition`] | Fig. 6 state-transition diagram |
@@ -24,11 +25,13 @@
 #![warn(rust_2018_idioms)]
 
 mod actions;
+mod commit_engine;
 mod coordinator;
 pub mod log;
 mod messages;
 mod participant;
 pub mod partition_state;
+mod paxos_commit;
 pub mod rules;
 mod states;
 mod termination;
@@ -37,13 +40,15 @@ mod wal_codec;
 mod xshard;
 
 pub use actions::{Action, TimerKind};
+pub use commit_engine::{CommitEngine, EngineCtx};
 pub use coordinator::{CoordPhase, Coordinator};
 pub use log::{
-    last_checkpoint, recover_state, recover_xstate, ItemChain, LogRecord, RecoveredTxn,
-    RecoveredXTxn, RetiredOutcome, XRetiredOutcome,
+    last_checkpoint, recover_paxos, recover_state, recover_xstate, ItemChain, LogRecord,
+    RecoveredAcceptor, RecoveredTxn, RecoveredXTxn, RetiredOutcome, XRetiredOutcome,
 };
 pub use messages::Msg;
 pub use participant::{FaultyMode, Participant, ParticipantConfig};
+pub use paxos_commit::{PaxosAcceptor, PaxosLeader, PaxosPhase, PaxosVotes};
 pub use rules::{Phase2Outcome, StateView, TerminationKind};
 pub use states::{LocalState, Transition};
 pub use termination::{Termination, TerminationPhase};
@@ -68,6 +73,12 @@ pub fn termination_kind_for(
         ),
         ProtocolKind::QuorumCommit1 => TerminationKind::Tp1,
         ProtocolKind::QuorumCommit2 => TerminationKind::Tp2,
+        // Paxos Commit replaces the quorum termination protocol with
+        // Phase-1 leader recovery ([`PaxosLeader::recover`]); asking
+        // for its termination rules is a driver bug.
+        ProtocolKind::PaxosCommit => {
+            panic!("Paxos Commit has no termination protocol: leader recovery replaces it")
+        }
     }
 }
 
@@ -105,5 +116,11 @@ mod kind_tests {
     #[should_panic(expected = "requires site votes")]
     fn skeen_without_votes_panics() {
         termination_kind_for(ProtocolKind::SkeenQuorum, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no termination protocol")]
+    fn paxos_commit_has_no_termination_protocol() {
+        termination_kind_for(ProtocolKind::PaxosCommit, None);
     }
 }

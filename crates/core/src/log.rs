@@ -80,6 +80,30 @@ pub enum LogRecord {
         /// in [`LogRecord::XStart`] branch order.
         branch_versions: Vec<(qbc_simnet::SiteId, Option<Version>)>,
     },
+    /// Paxos Commit acceptor: promised not to accept below `bal`
+    /// (Phase-1b). Forced before the promise leaves the site, so a
+    /// recovering acceptor never accepts a 2a an earlier incarnation
+    /// already promised away.
+    PaxosPromise {
+        /// Transaction.
+        txn: TxnId,
+        /// The ballot promised.
+        bal: u64,
+    },
+    /// Paxos Commit acceptor: accepted the batched Phase-2a values at
+    /// `bal` (Phase-2b). Forced before the 2b echo leaves the site —
+    /// this is the acceptor's contribution to the decision's durability
+    /// (the leader never force-logs votes itself; F+1 of these records
+    /// across the acceptors make the outcome stable).
+    PaxosAccept {
+        /// Transaction.
+        txn: TxnId,
+        /// The ballot accepted at.
+        bal: u64,
+        /// The accepted values: `(instance participant, prepared?,
+        /// reported max version)` per vote instance.
+        votes: Vec<(qbc_simnet::SiteId, bool, Version)>,
+    },
     /// A checkpoint: the compact outcomes of every *retired*
     /// transaction and cross-shard coordination, plus a snapshot of the
     /// site's versioned item copies, re-logged in one record so the
@@ -147,7 +171,9 @@ impl LogRecord {
             | LogRecord::PreAbort { txn }
             | LogRecord::Decided { txn, .. }
             | LogRecord::XStart { txn, .. }
-            | LogRecord::XDecision { txn, .. } => Some(*txn),
+            | LogRecord::XDecision { txn, .. }
+            | LogRecord::PaxosPromise { txn, .. }
+            | LogRecord::PaxosAccept { txn, .. } => Some(*txn),
             LogRecord::Checkpoint { .. } => None,
         }
     }
@@ -207,7 +233,16 @@ pub fn recover_state<'a>(
         // by [`recover_xstate`]); checkpoints span many transactions
         // (recovered by [`last_checkpoint`]).
         let Some(txn) = rec.txn() else { continue };
-        if matches!(rec, LogRecord::XStart { .. } | LogRecord::XDecision { .. }) {
+        if matches!(
+            rec,
+            LogRecord::XStart { .. }
+                | LogRecord::XDecision { .. }
+                | LogRecord::PaxosPromise { .. }
+                | LogRecord::PaxosAccept { .. }
+        ) {
+            // Cross-shard coordinator records are recovered by
+            // [`recover_xstate`]; Paxos acceptor records by
+            // [`recover_paxos`].
             continue;
         }
         let entry = out.entry(txn).or_insert(RecoveredTxn {
@@ -257,6 +292,8 @@ pub fn recover_state<'a>(
             }
             LogRecord::XStart { .. }
             | LogRecord::XDecision { .. }
+            | LogRecord::PaxosPromise { .. }
+            | LogRecord::PaxosAccept { .. }
             | LogRecord::Checkpoint { .. } => {
                 unreachable!("skipped above")
             }
@@ -308,6 +345,47 @@ pub fn recover_xstate<'a>(
                     if x.decision.is_none() {
                         x.decision = Some((*decision, branch_versions.clone()));
                     }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The durable Paxos-acceptor state for one transaction reconstructed
+/// from the log: the highest ballot promised and the highest-ballot
+/// batch of values accepted.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RecoveredAcceptor {
+    /// Highest ballot promised (from both promise and accept records —
+    /// accepting at `b` implies promising `b`).
+    pub promised: u64,
+    /// The accepted batch with the highest ballot, if any:
+    /// `(ballot, values)`.
+    pub accepted: Option<(u64, crate::paxos_commit::PaxosVotes)>,
+}
+
+/// Replays a site's log into per-transaction Paxos acceptor state (the
+/// Paxos Commit counterpart of [`recover_state`]). A recovering
+/// acceptor re-installs these before answering any 1a/2a, so it never
+/// breaks a promise an earlier incarnation made.
+pub fn recover_paxos<'a>(
+    records: impl IntoIterator<Item = &'a LogRecord>,
+) -> std::collections::BTreeMap<TxnId, RecoveredAcceptor> {
+    let mut out: std::collections::BTreeMap<TxnId, RecoveredAcceptor> =
+        std::collections::BTreeMap::new();
+    for rec in records {
+        match rec {
+            LogRecord::PaxosPromise { txn, bal } => {
+                let a = out.entry(*txn).or_default();
+                a.promised = a.promised.max(*bal);
+            }
+            LogRecord::PaxosAccept { txn, bal, votes } => {
+                let a = out.entry(*txn).or_default();
+                a.promised = a.promised.max(*bal);
+                if a.accepted.as_ref().is_none_or(|(b, _)| *bal >= *b) {
+                    a.accepted = Some((*bal, votes.clone()));
                 }
             }
             _ => {}
@@ -427,6 +505,47 @@ mod tests {
         let x = recover_xstate(&records);
         assert_eq!(x[&TxnId(9)].decision, None);
         assert_eq!(x[&TxnId(9)].branches.len(), 2);
+    }
+
+    #[test]
+    fn paxos_records_recover_separately_from_participant_state() {
+        let records = vec![
+            LogRecord::Voted { spec: spec(4) },
+            LogRecord::PaxosAccept {
+                txn: TxnId(4),
+                bal: 0,
+                votes: vec![(SiteId(1), true, Version(2))],
+            },
+            LogRecord::PaxosPromise {
+                txn: TxnId(4),
+                bal: 3,
+            },
+            LogRecord::PaxosAccept {
+                txn: TxnId(4),
+                bal: 3,
+                votes: vec![(SiteId(1), false, Version(0))],
+            },
+        ];
+        // Participant recovery is untouched by acceptor records.
+        let state = recover_state(&records);
+        assert_eq!(state[&TxnId(4)].state, LocalState::Wait);
+        // Acceptor recovery keeps the highest-ballot acceptance and the
+        // highest promise.
+        let paxos = recover_paxos(&records);
+        let a = &paxos[&TxnId(4)];
+        assert_eq!(a.promised, 3);
+        assert_eq!(a.accepted, Some((3, vec![(SiteId(1), false, Version(0))])));
+    }
+
+    #[test]
+    fn paxos_accept_implies_promise() {
+        let records = vec![LogRecord::PaxosAccept {
+            txn: TxnId(8),
+            bal: 5,
+            votes: vec![],
+        }];
+        let paxos = recover_paxos(&records);
+        assert_eq!(paxos[&TxnId(8)].promised, 5);
     }
 
     #[test]

@@ -147,6 +147,56 @@ pub enum Msg {
         /// Cross-shard transaction.
         txn: TxnId,
     },
+    /// Paxos Commit, recovery candidate → acceptors: Phase-1a prepare at
+    /// ballot `bal` for *every* vote instance of `txn` at once (Gray &
+    /// Lamport run one Paxos instance per participant's vote; a single
+    /// batched message carries the round for all of them). Carries the
+    /// spec so acceptors that never saw `VoteReq` can still answer.
+    PaxosP1a {
+        /// Transaction whose vote instances are being recovered.
+        txn: TxnId,
+        /// Candidate's ballot (> 0; ballot 0 is the original leader's).
+        bal: u64,
+        /// Transaction description (shared, like [`Msg::VoteReq`]'s).
+        spec: Arc<TxnSpec>,
+    },
+    /// Paxos Commit, acceptor → recovery candidate: Phase-1b promise at
+    /// `bal`, reporting for each vote instance the highest-ballot value
+    /// this acceptor has accepted (instances it never accepted in are
+    /// simply absent — the candidate applies presumed abort to any
+    /// instance no quorum member reports).
+    PaxosP1b {
+        /// Transaction.
+        txn: TxnId,
+        /// Ballot this promise answers.
+        bal: u64,
+        /// Accepted values: `(instance participant, accepted ballot,
+        /// prepared?, reported max version)` per instance.
+        accepted: Vec<(SiteId, u64, bool, Version)>,
+    },
+    /// Paxos Commit, leader → acceptors: Phase-2a at ballot `bal`,
+    /// proposing a value for every vote instance in one batched message
+    /// (one entry per participant's vote).
+    PaxosP2a {
+        /// Transaction.
+        txn: TxnId,
+        /// Proposing ballot (0 from the original coordinator; higher
+        /// from a recovery candidate).
+        bal: u64,
+        /// Proposed values: `(instance participant, prepared?, reported
+        /// max version)` per instance.
+        votes: Vec<(SiteId, bool, Version)>,
+    },
+    /// Paxos Commit, acceptor → leader: Phase-2b, echoing the accepted
+    /// values after force-logging them.
+    PaxosP2b {
+        /// Transaction.
+        txn: TxnId,
+        /// Ballot accepted at.
+        bal: u64,
+        /// The values this acceptor accepted (echo of the 2a batch).
+        votes: Vec<(SiteId, bool, Version)>,
+    },
 }
 
 impl Msg {
@@ -156,6 +206,7 @@ impl Msg {
             Msg::VoteReq { spec } => spec.id,
             Msg::StateReq { spec, .. } => spec.id,
             Msg::XBranchReq { spec, .. } => spec.id,
+            Msg::PaxosP1a { spec, .. } => spec.id,
             Msg::Vote { txn, .. }
             | Msg::PrepareCommit { txn, .. }
             | Msg::PcAck { txn }
@@ -167,7 +218,10 @@ impl Msg {
             | Msg::Decided { txn, .. }
             | Msg::XVote { txn, .. }
             | Msg::XDecide { txn, .. }
-            | Msg::XOutcomeReq { txn } => *txn,
+            | Msg::XOutcomeReq { txn }
+            | Msg::PaxosP1b { txn, .. }
+            | Msg::PaxosP2a { txn, .. }
+            | Msg::PaxosP2b { txn, .. } => *txn,
         }
     }
 }
@@ -192,6 +246,10 @@ impl Label for Msg {
             Msg::XVote { yes: false, .. } => "X-VOTE-NO",
             Msg::XDecide { .. } => "X-DECIDE",
             Msg::XOutcomeReq { .. } => "X-OUTCOME-REQ",
+            Msg::PaxosP1a { .. } => "PAXOS-1A",
+            Msg::PaxosP1b { .. } => "PAXOS-1B",
+            Msg::PaxosP2a { .. } => "PAXOS-2A",
+            Msg::PaxosP2b { .. } => "PAXOS-2B",
         }
     }
 }
@@ -264,6 +322,26 @@ mod tests {
                 commit_version: None,
             },
             Msg::XOutcomeReq { txn: TxnId(7) },
+            Msg::PaxosP1a {
+                txn: TxnId(7),
+                bal: 3,
+                spec: spec(),
+            },
+            Msg::PaxosP1b {
+                txn: TxnId(7),
+                bal: 3,
+                accepted: vec![(SiteId(2), 0, true, Version(4))],
+            },
+            Msg::PaxosP2a {
+                txn: TxnId(7),
+                bal: 0,
+                votes: vec![(SiteId(2), true, Version(4))],
+            },
+            Msg::PaxosP2b {
+                txn: TxnId(7),
+                bal: 0,
+                votes: vec![(SiteId(2), true, Version(4))],
+            },
         ];
         for m in &msgs {
             assert_eq!(m.txn(), TxnId(7), "{m:?}");

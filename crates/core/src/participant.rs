@@ -189,8 +189,8 @@ impl Participant {
                 Decision::Abort => self.on_abort(),
             },
             Msg::StateReq { round, spec } => self.on_state_req(*round, spec),
-            // Coordinator/termination/cross-shard-role messages are not
-            // ours.
+            // Coordinator/termination/cross-shard/acceptor-role messages
+            // are not ours.
             Msg::Vote { .. }
             | Msg::PcAck { .. }
             | Msg::PaAck { .. }
@@ -198,7 +198,11 @@ impl Participant {
             | Msg::XBranchReq { .. }
             | Msg::XVote { .. }
             | Msg::XDecide { .. }
-            | Msg::XOutcomeReq { .. } => Vec::new(),
+            | Msg::XOutcomeReq { .. }
+            | Msg::PaxosP1a { .. }
+            | Msg::PaxosP1b { .. }
+            | Msg::PaxosP2a { .. }
+            | Msg::PaxosP2b { .. } => Vec::new(),
         }
     }
 

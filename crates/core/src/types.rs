@@ -60,16 +60,26 @@ pub enum ProtocolKind {
     /// (Fig. 8): commit point at `r(x)` PC-ACK votes for *some* writeset
     /// item. Faster than QC1.
     QuorumCommit2,
+    /// Gray & Lamport's Paxos Commit (*Consensus on Transaction
+    /// Commit*): one Paxos consensus instance per participant's vote,
+    /// acceptors co-located on the participant sites, leader = the
+    /// transaction coordinator. Commit exactly when every instance
+    /// chooses *prepared*; a silent leader is replaced by Phase-1
+    /// recovery from any participant (no separate termination
+    /// protocol), with presumed abort for instances no acceptor
+    /// quorum has accepted.
+    PaxosCommit,
 }
 
 impl ProtocolKind {
     /// All protocol kinds, in presentation order.
-    pub const ALL: [ProtocolKind; 5] = [
+    pub const ALL: [ProtocolKind; 6] = [
         ProtocolKind::TwoPhase,
         ProtocolKind::ThreePhase,
         ProtocolKind::SkeenQuorum,
         ProtocolKind::QuorumCommit1,
         ProtocolKind::QuorumCommit2,
+        ProtocolKind::PaxosCommit,
     ];
 
     /// Short display name used in experiment tables.
@@ -80,10 +90,13 @@ impl ProtocolKind {
             ProtocolKind::SkeenQuorum => "Skeen-QC",
             ProtocolKind::QuorumCommit1 => "QC1+TP1",
             ProtocolKind::QuorumCommit2 => "QC2+TP2",
+            ProtocolKind::PaxosCommit => "PaxosCommit",
         }
     }
 
-    /// True for the protocols that use the PC round (everything but 2PC).
+    /// True for the protocols that run a second round between the votes
+    /// and the decision (the PC round, or Paxos Commit's 2a/2b round);
+    /// 2PC alone decides straight off the votes.
     pub fn has_prepare_phase(self) -> bool {
         !matches!(self, ProtocolKind::TwoPhase)
     }
@@ -260,9 +273,11 @@ mod tests {
     fn protocol_names_are_stable() {
         assert_eq!(ProtocolKind::TwoPhase.name(), "2PC");
         assert_eq!(ProtocolKind::QuorumCommit2.name(), "QC2+TP2");
+        assert_eq!(ProtocolKind::PaxosCommit.name(), "PaxosCommit");
         assert!(!ProtocolKind::TwoPhase.has_prepare_phase());
         assert!(ProtocolKind::QuorumCommit1.has_prepare_phase());
-        assert_eq!(ProtocolKind::ALL.len(), 5);
+        assert!(ProtocolKind::PaxosCommit.has_prepare_phase());
+        assert_eq!(ProtocolKind::ALL.len(), 6);
     }
 
     #[test]

@@ -30,6 +30,8 @@ const TAG_DECIDED: u8 = 5;
 const TAG_X_START: u8 = 6;
 const TAG_X_DECISION: u8 = 7;
 const TAG_CHECKPOINT: u8 = 8;
+const TAG_PAXOS_PROMISE: u8 = 9;
+const TAG_PAXOS_ACCEPT: u8 = 10;
 
 /// Pre-allocation bound for a count field read from the payload: every
 /// element encodes to at least one byte, so a count exceeding the bytes
@@ -76,6 +78,7 @@ fn put_protocol(buf: &mut Vec<u8>, p: ProtocolKind) {
         ProtocolKind::SkeenQuorum => 2,
         ProtocolKind::QuorumCommit1 => 3,
         ProtocolKind::QuorumCommit2 => 4,
+        ProtocolKind::PaxosCommit => 5,
     };
     put_u8(buf, tag);
 }
@@ -87,6 +90,7 @@ fn get_protocol(d: &mut Dec<'_>) -> Option<ProtocolKind> {
         2 => ProtocolKind::SkeenQuorum,
         3 => ProtocolKind::QuorumCommit1,
         4 => ProtocolKind::QuorumCommit2,
+        5 => ProtocolKind::PaxosCommit,
         _ => return None,
     })
 }
@@ -184,6 +188,8 @@ pub fn encoded_len(rec: &LogRecord) -> usize {
                 .map(|(_, v)| 4 + opt_version_len(*v))
                 .sum::<usize>()
         }
+        LogRecord::PaxosPromise { .. } => 16,
+        LogRecord::PaxosAccept { votes, .. } => 20 + 13 * votes.len(),
         LogRecord::Checkpoint {
             retired,
             xretired,
@@ -268,6 +274,22 @@ impl WalCodec for LogRecord {
                 for (site, v) in branch_versions {
                     put_u32(buf, site.0);
                     put_opt_version(buf, *v);
+                }
+            }
+            LogRecord::PaxosPromise { txn, bal } => {
+                put_u8(buf, TAG_PAXOS_PROMISE);
+                put_u64(buf, txn.0);
+                put_u64(buf, *bal);
+            }
+            LogRecord::PaxosAccept { txn, bal, votes } => {
+                put_u8(buf, TAG_PAXOS_ACCEPT);
+                put_u64(buf, txn.0);
+                put_u64(buf, *bal);
+                put_u32(buf, votes.len() as u32);
+                for (site, prepared, v) in votes {
+                    put_u32(buf, site.0);
+                    put_u8(buf, *prepared as u8);
+                    put_u64(buf, v.0);
                 }
             }
             LogRecord::Checkpoint {
@@ -357,6 +379,27 @@ impl WalCodec for LogRecord {
                     decision,
                     branch_versions,
                 }
+            }
+            TAG_PAXOS_PROMISE => LogRecord::PaxosPromise {
+                txn: TxnId(d.u64()?),
+                bal: d.u64()?,
+            },
+            TAG_PAXOS_ACCEPT => {
+                let txn = TxnId(d.u64()?);
+                let bal = d.u64()?;
+                let n = d.u32()?;
+                let mut votes = Vec::with_capacity(cap(n, &d));
+                for _ in 0..n {
+                    let site = SiteId(d.u32()?);
+                    let prepared = match d.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    };
+                    let v = Version(d.u64()?);
+                    votes.push((site, prepared, v));
+                }
+                LogRecord::PaxosAccept { txn, bal, votes }
             }
             TAG_CHECKPOINT => {
                 let n = d.u32()?;
@@ -510,6 +553,23 @@ mod tests {
             retired: vec![],
             xretired: vec![],
             items: vec![],
+        });
+        roundtrip(LogRecord::PaxosPromise {
+            txn: TxnId(13),
+            bal: u64::MAX,
+        });
+        roundtrip(LogRecord::PaxosAccept {
+            txn: TxnId(14),
+            bal: 0x10005,
+            votes: vec![
+                (SiteId(0), true, Version(3)),
+                (SiteId(2), false, Version(0)),
+            ],
+        });
+        roundtrip(LogRecord::PaxosAccept {
+            txn: TxnId(15),
+            bal: 0,
+            votes: vec![],
         });
     }
 

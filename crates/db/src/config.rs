@@ -144,6 +144,13 @@ pub struct NodeConfig {
     /// outside tests — the model-check suite proves the checker catches
     /// the resulting atomicity violation.
     pub mutation_weaken_qc1: bool,
+    /// Seeded Paxos Commit mutation for model-checker validation: this
+    /// site's Paxos leaders/candidates decide on F acceptances instead
+    /// of the F+1 majority
+    /// ([`qbc_core::PaxosLeader::with_weakened_quorum`]), so a decision
+    /// can rest on a quorum a recovery candidate's Phase-1 quorum need
+    /// not intersect. Never set outside tests.
+    pub mutation_weaken_paxos: bool,
 }
 
 impl NodeConfig {
@@ -172,6 +179,7 @@ impl NodeConfig {
             version_retention: 1,
             obs: None,
             mutation_weaken_qc1: false,
+            mutation_weaken_paxos: false,
         }
     }
 
@@ -179,6 +187,13 @@ impl NodeConfig {
     /// see [`NodeConfig::mutation_weaken_qc1`]).
     pub fn with_weakened_qc1(mut self) -> Self {
         self.mutation_weaken_qc1 = true;
+        self
+    }
+
+    /// Installs the seeded Paxos acceptor-quorum mutation (builder
+    /// style; see [`NodeConfig::mutation_weaken_paxos`]).
+    pub fn with_weakened_paxos(mut self) -> Self {
+        self.mutation_weaken_paxos = true;
         self
     }
 

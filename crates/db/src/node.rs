@@ -26,9 +26,10 @@
 use crate::config::{NodeConfig, WalBackendConfig};
 use crate::envelope::{NetMsg, NodeTimer};
 use qbc_core::{
-    last_checkpoint, recover_state, recover_xstate, Action, Coordinator, Decision, LocalState,
-    LogRecord, Msg, Participant, ParticipantConfig, ProtocolKind, RetiredOutcome, Termination,
-    TimerKind, Transition, TxnId, TxnSpec, WriteSet, XRetiredOutcome, XTxnCoordinator,
+    last_checkpoint, recover_paxos, recover_state, recover_xstate, Action, Coordinator, Decision,
+    LocalState, LogRecord, Msg, Participant, ParticipantConfig, PaxosAcceptor, PaxosLeader,
+    ProtocolKind, RetiredOutcome, Termination, TimerKind, Transition, TxnId, TxnSpec, WriteSet,
+    XRetiredOutcome, XTxnCoordinator,
 };
 use qbc_election::{Action as ElAction, ElectionMsg, Elector, Input as ElInput};
 use qbc_locks::{LockManager, LockMode, LockOutcome};
@@ -87,6 +88,12 @@ struct TxnState {
     spec: Arc<TxnSpec>,
     participant: Participant,
     coordinator: Option<Coordinator>,
+    /// The Paxos Commit leader (at the submitting site, ballot 0) or
+    /// recovery candidate (any participant whose watchdog fired, at a
+    /// positive ballot) — the [`ProtocolKind::PaxosCommit`] peer of
+    /// `coordinator`. A later candidacy replaces an earlier engine;
+    /// ballots only grow.
+    paxos: Option<PaxosLeader>,
     termination: Option<Termination>,
     elector: Option<Elector>,
     last_coord_contact: Time,
@@ -117,6 +124,7 @@ impl TxnState {
         self.participant
             .commit_version()
             .or_else(|| self.coordinator.as_ref().and_then(|c| c.commit_version()))
+            .or_else(|| self.paxos.as_ref().and_then(|p| p.commit_version()))
             .or(self.decided_version)
     }
 }
@@ -211,6 +219,13 @@ pub struct SiteNode {
     txns: FastMap<TxnId, TxnState>,
     /// Cross-shard (top-level 2PC) coordinations hosted at this site.
     xcoords: FastMap<TxnId, XTxnCoordinator>,
+    /// Paxos Commit acceptor state, one per transaction this site
+    /// co-hosts an acceptor for (every participant site). Spec-free and
+    /// keyed separately from `txns`: a recovering site re-installs it
+    /// straight from its `PaxosPromise`/`PaxosAccept` records, and a
+    /// candidate's 1a can be answered before the site ever saw the
+    /// `VOTE-REQ`. Dropped at retirement alongside the `txns` entry.
+    acceptors: FastMap<TxnId, PaxosAcceptor>,
     /// Compact outcomes of retired transactions (see
     /// [`NodeConfig::retire_after`]); rebuilt from the WAL on recovery.
     retired: FastMap<TxnId, RetiredTxn>,
@@ -345,6 +360,7 @@ impl SiteNode {
             locks: LockManager::new(),
             txns: FastMap::default(),
             xcoords: FastMap::default(),
+            acceptors: FastMap::default(),
             retired: FastMap::default(),
             xretired: FastMap::default(),
             retire_queue: VecDeque::new(),
@@ -636,12 +652,23 @@ impl SiteNode {
         let state = self.ensure_txn(ctx.now(), &spec);
         state.started_at = ctx.now();
         self.emit(ctx.now(), Some(txn), EventKind::Submitted { protocol });
-        let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
-        if self.cfg.mutation_weaken_qc1 {
-            coord = coord.with_weakened_qc1();
-        }
-        let actions = coord.start();
-        self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
+        let actions = if protocol == ProtocolKind::PaxosCommit {
+            let mut leader = PaxosLeader::new(spec);
+            if self.cfg.mutation_weaken_paxos {
+                leader = leader.with_weakened_quorum();
+            }
+            let actions = leader.start();
+            self.txns.get_mut(&txn).expect("just ensured").paxos = Some(leader);
+            actions
+        } else {
+            let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
+            if self.cfg.mutation_weaken_qc1 {
+                coord = coord.with_weakened_qc1();
+            }
+            let actions = coord.start();
+            self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
+            actions
+        };
         self.apply_actions(ctx, txn, self.cfg.site, actions);
         self.pump(ctx);
     }
@@ -700,15 +727,29 @@ impl SiteNode {
         // a retried solicitation may be the first one that arrives after
         // this entry was created by an in-shard message.
         st.x_siblings = siblings.to_vec();
-        if st.coordinator.is_some() || st.decided.is_some() {
+        if st.coordinator.is_some() || st.paxos.is_some() || st.decided.is_some() {
             return; // duplicate request
         }
-        let mut coord = Coordinator::new(Arc::clone(spec), self.cfg.site_votes.clone());
-        if self.cfg.mutation_weaken_qc1 {
-            coord = coord.with_weakened_qc1();
-        }
-        let actions = coord.start();
-        st.coordinator = Some(coord);
+        let actions = if spec.protocol == ProtocolKind::PaxosCommit {
+            // A Paxos branch behaves like 2PC toward the parent: all
+            // yes → held + X-VOTE yes; the parent is the only outcome
+            // authority, so no Paxos rounds ever run in-shard.
+            let mut leader = PaxosLeader::new(Arc::clone(spec));
+            if self.cfg.mutation_weaken_paxos {
+                leader = leader.with_weakened_quorum();
+            }
+            let actions = leader.start();
+            st.paxos = Some(leader);
+            actions
+        } else {
+            let mut coord = Coordinator::new(Arc::clone(spec), self.cfg.site_votes.clone());
+            if self.cfg.mutation_weaken_qc1 {
+                coord = coord.with_weakened_qc1();
+            }
+            let actions = coord.start();
+            st.coordinator = Some(coord);
+            actions
+        };
         self.apply_actions(ctx, txn, self.cfg.site, actions);
         // A held branch coordinator may be left orphaned by a crashed
         // parent: the watchdog drives its outcome discovery.
@@ -906,6 +947,12 @@ impl SiteNode {
             Action::Broadcast(_, Msg::PrepareAbort { .. }) => {
                 Some(EventKind::PrepareOut { abort: true })
             }
+            Action::Broadcast(_, Msg::PaxosP2a { bal, .. }) => {
+                Some(EventKind::PaxosProposalOut { bal: *bal })
+            }
+            Action::Broadcast(_, Msg::PaxosP1a { bal, .. }) => {
+                Some(EventKind::PaxosRecoveryOut { bal: *bal })
+            }
             Action::Broadcast(_, Msg::Commit { .. }) => Some(EventKind::DecisionOut {
                 decision: Decision::Commit,
             }),
@@ -940,7 +987,9 @@ impl SiteNode {
                 let driving = self
                     .txns
                     .get(&txn)
-                    .map(|st| st.coordinator.is_some() || st.termination.is_some())
+                    .map(|st| {
+                        st.coordinator.is_some() || st.termination.is_some() || st.paxos.is_some()
+                    })
                     .unwrap_or(false)
                     || self.xcoords.contains_key(&txn);
                 if driving {
@@ -970,6 +1019,7 @@ impl SiteNode {
                 },
             ),
             coordinator: None,
+            paxos: None,
             termination: None,
             elector: None,
             last_coord_contact: now,
@@ -1504,9 +1554,11 @@ impl SiteNode {
                 return;
             }
         }
-        // Learn the spec from spec-carrying messages.
+        // Learn the spec from spec-carrying messages (a recovery
+        // candidate's 1a may be the first word this site ever hears of
+        // the transaction).
         match &m {
-            Msg::VoteReq { spec } | Msg::StateReq { spec, .. } => {
+            Msg::VoteReq { spec } | Msg::StateReq { spec, .. } | Msg::PaxosP1a { spec, .. } => {
                 self.ensure_txn(ctx.now(), spec);
             }
             _ => {}
@@ -1515,6 +1567,55 @@ impl SiteNode {
             // A message about a transaction this site knows nothing of
             // (e.g. a stray ack to a recovered coordinator): ignore.
             return;
+        }
+
+        // Paxos acceptor role: 1a/2a address the co-located acceptor,
+        // never the participant engine. The acceptor entry is created on
+        // demand; its force-logged promise/acceptance records rebuild it
+        // after a crash ([`recover_paxos`]). A decided site answers with
+        // the outcome instead — an acceptor that kept promising would
+        // leave a late candidate chasing a consensus that is already
+        // over. A *remote* candidate's contact counts as coordinator
+        // liveness for the watchdog; a candidate's own broadcast must
+        // not, or a stale-ballot candidacy being ignored by every peer
+        // would pet its own watchdog forever instead of escalating.
+        if matches!(m, Msg::PaxosP1a { .. } | Msg::PaxosP2a { .. }) {
+            if let Some(st) = self.txns.get_mut(&txn) {
+                if let Some(decision) = st.decided {
+                    let commit_version = st.commit_version();
+                    self.send_net(
+                        ctx,
+                        from,
+                        NetMsg::Proto(Msg::Decided {
+                            txn,
+                            decision,
+                            commit_version,
+                        }),
+                    );
+                    return;
+                }
+                if from != self.cfg.site {
+                    st.last_coord_contact = ctx.now();
+                }
+            }
+        }
+        match &m {
+            Msg::PaxosP1a { bal, .. } => {
+                let actions = self.acceptors.entry(txn).or_default().on_p1a(txn, *bal);
+                self.apply_actions(ctx, txn, from, actions);
+                self.arm_watchdog(ctx, txn);
+                return;
+            }
+            Msg::PaxosP2a { bal, votes, .. } => {
+                let actions = self
+                    .acceptors
+                    .entry(txn)
+                    .or_default()
+                    .on_p2a(txn, *bal, votes);
+                self.apply_actions(ctx, txn, from, actions);
+                return;
+            }
+            _ => {}
         }
 
         // Dynamic vote decision: scripted no-votes and lock conflicts.
@@ -1570,6 +1671,18 @@ impl SiteNode {
                 } => {
                     if let Some(c) = st.coordinator.as_mut() {
                         actions = c.on_vote(from, *yes, *max_version, &catalog);
+                    } else if let Some(p) = st.paxos.as_mut() {
+                        actions = p.on_vote(from, *yes, *max_version);
+                    }
+                }
+                Msg::PaxosP1b { bal, accepted, .. } => {
+                    if let Some(p) = st.paxos.as_mut() {
+                        actions = p.on_p1b(from, *bal, accepted);
+                    }
+                }
+                Msg::PaxosP2b { bal, .. } => {
+                    if let Some(p) = st.paxos.as_mut() {
+                        actions = p.on_p2b(from, *bal);
                     }
                 }
                 Msg::PcAck { .. } => {
@@ -1603,6 +1716,13 @@ impl SiteNode {
                     if let Some(t) = st.termination.as_mut() {
                         actions.extend(t.on_decided(*decision, *commit_version));
                     }
+                    if let Some(p) = st.paxos.as_mut() {
+                        // A straggler's answer terminates a live Paxos
+                        // candidacy quietly: the participant path below
+                        // applies the outcome locally, and the engine
+                        // must stop re-broadcasting its round.
+                        p.adopt_decision(*decision, *commit_version);
+                    }
                     actions.extend(st.participant.on_msg(from, &m, local_max_version));
                 }
                 // Participant-role messages.
@@ -1614,11 +1734,14 @@ impl SiteNode {
                 | Msg::StateReq { .. } => {
                     actions = st.participant.on_msg(from, &m, local_max_version);
                 }
-                // Cross-shard messages returned early above.
+                // Cross-shard and Paxos acceptor messages returned
+                // early above.
                 Msg::XBranchReq { .. }
                 | Msg::XVote { .. }
                 | Msg::XDecide { .. }
-                | Msg::XOutcomeReq { .. } => unreachable!("dispatched before the txns lookup"),
+                | Msg::XOutcomeReq { .. }
+                | Msg::PaxosP1a { .. }
+                | Msg::PaxosP2a { .. } => unreachable!("dispatched before the engine match"),
             }
         }
         self.apply_actions(ctx, txn, from, actions);
@@ -1653,6 +1776,8 @@ impl SiteNode {
                 st.last_coord_contact = ctx.now();
                 if let Some(c) = st.coordinator.as_mut() {
                     Route::Engine(c.on_x_decide(decision, commit_version))
+                } else if let Some(p) = st.paxos.as_mut() {
+                    Route::Engine(p.on_x_decide(decision, commit_version))
                 } else if st.spec.coordinator == site {
                     // The parent's echo carries the branch version; a
                     // sibling's answer does not — fall back to the
@@ -1732,9 +1857,14 @@ impl SiteNode {
     fn adopt_coordinator_decision(&mut self, now: Time, txn: TxnId) {
         if let Some(st) = self.txns.get_mut(&txn) {
             if st.decided.is_none() && !st.spec.participants.contains(&self.cfg.site) {
-                if let Some(qbc_core::CoordPhase::Decided(d)) =
-                    st.coordinator.as_ref().map(|c| c.phase())
-                {
+                let decided = match st.coordinator.as_ref().map(|c| c.phase()) {
+                    Some(qbc_core::CoordPhase::Decided(d)) => Some(d),
+                    _ => match st.paxos.as_ref().map(|p| p.phase()) {
+                        Some(qbc_core::PaxosPhase::Decided(d)) => Some(d),
+                        _ => None,
+                    },
+                };
+                if let Some(d) = decided {
                     st.decided = Some(d);
                     st.decided_at = Some(now);
                     self.schedule_retire(now, txn);
@@ -1793,6 +1923,12 @@ impl SiteNode {
                     self.xretired.insert(txn, XRetired { decision, branches });
                     self.xcoords.remove(&txn);
                 }
+            }
+            // The acceptor's promise/accept state is only needed while
+            // recovery candidates may still ask; a retired outcome
+            // answers them directly.
+            if !self.txns.contains_key(&txn) {
+                self.acceptors.remove(&txn);
             }
             // Fully retired: the next checkpoint carries the outcome, so
             // this transaction no longer pins the truncation cutoff.
@@ -1898,7 +2034,9 @@ impl SiteNode {
                         TimerKind::VoteCollection { .. }
                         | TimerKind::AckCollection { .. }
                         | TimerKind::StateCollection { .. }
-                        | TimerKind::TerminationAcks { .. } => self.cfg.window_2t(),
+                        | TimerKind::TerminationAcks { .. }
+                        | TimerKind::Paxos1bCollection { .. }
+                        | TimerKind::Paxos2bCollection { .. } => self.cfg.window_2t(),
                         TimerKind::CoordinatorWatch { .. } => self.cfg.watchdog_3t(),
                         TimerKind::BlockedRetry { .. } => self.cfg.blocked_retry,
                         TimerKind::XVoteCollection { .. } => self.cfg.x_window(),
@@ -2038,6 +2176,25 @@ impl SiteNode {
                 self.send_net(ctx, to, NetMsg::Proto(Msg::XOutcomeReq { txn }));
             }
             self.emit(ctx.now(), Some(txn), EventKind::OutcomeDiscoveryOut);
+            return;
+        }
+        if st.spec.protocol == ProtocolKind::PaxosCommit {
+            // Paxos Commit replaces the termination election entirely:
+            // any participant may stand up as a recovery candidate and
+            // run Phase 1a at a ballot above every earlier one. The
+            // acceptor majority then tells the candidate what (if
+            // anything) was already chosen; unchosen instances are
+            // presumed aborted.
+            st.termination_rounds += 1;
+            let bal = qbc_election::recovery_ballot(st.termination_rounds, self.cfg.site);
+            let spec = Arc::clone(&st.spec);
+            let mut candidate = PaxosLeader::recover(spec, bal);
+            if self.cfg.mutation_weaken_paxos {
+                candidate = candidate.with_weakened_quorum();
+            }
+            let actions = candidate.start();
+            st.paxos = Some(candidate);
+            self.apply_actions(ctx, txn, self.cfg.site, actions);
             return;
         }
         let spec = Arc::clone(&st.spec);
@@ -2196,11 +2353,36 @@ impl Process for SiteNode {
                     let actions = self
                         .txns
                         .get_mut(&txn)
-                        .and_then(|st| st.coordinator.as_mut())
-                        .map(|c| c.on_vote_timer())
+                        .and_then(|st| match st.coordinator.as_mut() {
+                            Some(c) => Some(c.on_vote_timer()),
+                            None => st.paxos.as_mut().map(|p| p.on_vote_timer()),
+                        })
                         .unwrap_or_default();
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                     self.adopt_coordinator_decision(ctx.now(), txn);
+                }
+                TimerKind::Paxos1bCollection { txn, bal } => {
+                    // Guarded on the undecided state: a leader stuck in
+                    // `Proposing` after a higher-ballot candidate already
+                    // decided would otherwise re-broadcast forever.
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .filter(|st| st.decided.is_none())
+                        .and_then(|st| st.paxos.as_mut())
+                        .map(|p| p.on_1b_timer(bal))
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
+                }
+                TimerKind::Paxos2bCollection { txn, bal } => {
+                    let actions = self
+                        .txns
+                        .get_mut(&txn)
+                        .filter(|st| st.decided.is_none())
+                        .and_then(|st| st.paxos.as_mut())
+                        .map(|p| p.on_2b_timer(bal))
+                        .unwrap_or_default();
+                    self.apply_actions(ctx, txn, self.cfg.site, actions);
                 }
                 TimerKind::AckCollection { txn } => {
                     let actions = self
@@ -2300,6 +2482,9 @@ impl Process for SiteNode {
         self.storage.crash();
         self.txns.clear();
         self.xcoords.clear();
+        // Acceptor promises/accepts are durable (force-logged before
+        // every echo); the in-memory map is rebuilt from the WAL.
+        self.acceptors.clear();
         // Retired summaries are volatile too: the WAL still holds every
         // record they were distilled from, so recovery rebuilds them.
         self.retired.clear();
@@ -2454,6 +2639,7 @@ impl Process for SiteNode {
                     spec,
                     participant,
                     coordinator: None,
+                    paxos: None,
                     termination: None,
                     elector: None,
                     last_coord_contact: ctx.now(),
@@ -2564,6 +2750,21 @@ impl Process for SiteNode {
             self.xcoords.insert(txn, x);
             self.apply_actions(ctx, txn, self.cfg.site, actions);
             self.schedule_retire(ctx.now(), txn);
+        }
+        // Paxos Commit acceptor recovery: promises and accepted batches
+        // were force-logged before every 1b/2b echo, so the durable
+        // records reconstruct exactly what this acceptor may still be
+        // held to by a recovery candidate. Decided or retired
+        // transactions answer with the outcome instead.
+        for (txn, rec) in recover_paxos(self.storage.wal().replay().map(|(_, r)| r)) {
+            if self.retired.contains_key(&txn) {
+                continue;
+            }
+            if self.txns.get(&txn).is_some_and(|st| st.decided.is_some()) {
+                continue;
+            }
+            self.acceptors
+                .insert(txn, PaxosAcceptor::from_recovery(&rec));
         }
         // Only live transactions pin the truncation cutoff; leftover
         // entries for retired/abandoned ones would pin it forever.
@@ -2745,12 +2946,16 @@ impl qbc_simnet::Fingerprint for SiteNode {
             if let Some(e) = &st.elector {
                 e.fingerprint(now, h);
             }
+            if let Some(p) = &st.paxos {
+                p.fingerprint(now, h);
+            }
             let _ = write!(
                 t,
-                "|{}{}{}{}|{}|{:?}|{:?}|{}|{}|{:?}",
+                "|{}{}{}{}{}|{}|{:?}|{:?}|{}|{}|{:?}",
                 st.coordinator.is_some() as u8,
                 st.termination.is_some() as u8,
                 st.elector.is_some() as u8,
+                st.paxos.is_some() as u8,
                 st.watchdog_armed as u8,
                 now.since(st.last_coord_contact).0,
                 st.decided,
@@ -2766,6 +2971,16 @@ impl qbc_simnet::Fingerprint for SiteNode {
         for id in xids {
             h.write(format!("x{id:?}").as_bytes());
             self.xcoords
+                .get(&id)
+                .expect("sorted key")
+                .fingerprint(now, h);
+        }
+        // Paxos acceptor table, sorted by transaction.
+        let mut aids: Vec<TxnId> = self.acceptors.keys().copied().collect();
+        aids.sort_unstable();
+        for id in aids {
+            h.write(format!("a{id:?}").as_bytes());
+            self.acceptors
                 .get(&id)
                 .expect("sorted key")
                 .fingerprint(now, h);

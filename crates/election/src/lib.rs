@@ -282,6 +282,23 @@ impl Elector {
     }
 }
 
+/// The Paxos Commit recovery ballot for a candidate site's `round`-th
+/// takeover attempt.
+///
+/// Paxos leader failover needs no election at all — any number of
+/// candidates may run Phase 1 concurrently and safety holds — but every
+/// candidate must use a ballot that is (a) strictly greater than 0 (the
+/// original coordinator's ballot) and (b) distinct from every other
+/// candidate's, or two candidates could split one ballot's acceptances.
+/// Packing the per-site retry round into the high bits and the site id
+/// (+1, so round 1 of site 0 stays above ballot 0) into the low 16 bits
+/// gives both properties, and later rounds dominate earlier ones at
+/// every site.
+pub fn recovery_ballot(round: u64, site: SiteId) -> u64 {
+    debug_assert!(round > 0, "recovery rounds start at 1");
+    (round << 16) | (u64::from(site.0) + 1)
+}
+
 /// Canonical state hash for the model checker's visited-set: phase and
 /// round fully determine the elector's future behaviour (id and peer
 /// set are fixed per instance and hashed at the node level).
@@ -304,6 +321,21 @@ mod tests {
                 _ => None,
             })
             .collect()
+    }
+
+    #[test]
+    fn recovery_ballots_are_positive_and_unique() {
+        let sites = [SiteId(0), SiteId(1), SiteId(7), SiteId(65000)];
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 1..=3u64 {
+            for s in sites {
+                let b = recovery_ballot(round, s);
+                assert!(b > 0, "every recovery ballot beats the leader's 0");
+                assert!(seen.insert(b), "ballot {b} duplicated");
+            }
+        }
+        // Later rounds dominate earlier ones at every site.
+        assert!(recovery_ballot(2, SiteId(0)) > recovery_ballot(1, SiteId(65000)));
     }
 
     #[test]

@@ -79,6 +79,20 @@ pub enum EventKind {
     /// An orphaned branch site asked the cross-shard coordinator for
     /// the outcome (`X-OUTCOME-REQ`).
     OutcomeDiscoveryOut,
+    /// Paxos Commit leader/candidate broadcast its Phase-2a vote batch
+    /// — the phase boundary equivalent to a prepare broadcast (the
+    /// acceptor force-logs that follow are this protocol's prepares).
+    PaxosProposalOut {
+        /// The proposing ballot (0 = the original coordinator).
+        bal: u64,
+    },
+    /// A Paxos Commit recovery candidate broadcast Phase 1a: leader
+    /// failover started at this site (this engine's replacement for a
+    /// termination election).
+    PaxosRecoveryOut {
+        /// The candidate's ballot (> 0).
+        bal: u64,
+    },
     /// This site started a termination election (coordinator silence).
     ElectionStarted,
     /// This site, as elected termination coordinator, started a
@@ -143,6 +157,8 @@ impl fmt::Display for EventKind {
             EventKind::XVoteOut { yes } => write!(f, "x-vote-out yes={yes}"),
             EventKind::XDecideOut { decision } => write!(f, "x-decide-out {decision:?}"),
             EventKind::OutcomeDiscoveryOut => write!(f, "x-outcome-req-out"),
+            EventKind::PaxosProposalOut { bal } => write!(f, "paxos-2a-out bal={bal}"),
+            EventKind::PaxosRecoveryOut { bal } => write!(f, "paxos-1a-out bal={bal}"),
             EventKind::ElectionStarted => write!(f, "election-started"),
             EventKind::TerminationRound { round } => write!(f, "termination-round {round}"),
             EventKind::Blocked => write!(f, "blocked"),

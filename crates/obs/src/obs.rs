@@ -93,6 +93,7 @@ struct Counters {
     recoveries: u64,
     elections: u64,
     termination_rounds: u64,
+    paxos_recoveries: u64,
     blocked_declared: u64,
     outcome_discoveries: u64,
     snapshot_reads: u64,
@@ -202,6 +203,11 @@ impl Obs {
     /// Snapshot reads that exhausted every copy site without an answer.
     pub fn snapshot_read_unavailable(&self) -> u64 {
         self.lock().counters.snapshot_read_unavailable
+    }
+
+    /// Paxos Commit leader-failover candidacies started cluster-wide.
+    pub fn paxos_recoveries(&self) -> u64 {
+        self.lock().counters.paxos_recoveries
     }
 
     /// Commit-latency decomposition histograms.
@@ -329,6 +335,12 @@ impl Obs {
             &[],
             "termination rounds started",
             c.termination_rounds,
+        );
+        r.counter(
+            "qbc_paxos_recoveries_total",
+            &[],
+            "Paxos Commit leader-failover candidacies started",
+            c.paxos_recoveries,
         );
         r.counter(
             "qbc_blocked_declared_total",
@@ -525,6 +537,19 @@ impl Obs {
             EventKind::SnapshotReadUnavailable { .. } => {
                 g.counters.snapshot_read_unavailable += 1;
             }
+            EventKind::PaxosProposalOut { .. } => {
+                // The 2a broadcast is this protocol's prepare boundary:
+                // it starts the acceptor force-log round, so it feeds
+                // the same phase decomposition as `PrepareOut`.
+                if let Some(txn) = ev.txn {
+                    if let Some(p) = g.phases.get_mut(&txn) {
+                        if p.coord == Some(ev.site) {
+                            p.prepare.get_or_insert(ev.at);
+                        }
+                    }
+                }
+            }
+            EventKind::PaxosRecoveryOut { .. } => g.counters.paxos_recoveries += 1,
             EventKind::ElectionStarted => g.counters.elections += 1,
             EventKind::TerminationRound { .. } => g.counters.termination_rounds += 1,
             EventKind::OutcomeDiscoveryOut => g.counters.outcome_discoveries += 1,

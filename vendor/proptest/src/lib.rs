@@ -16,6 +16,7 @@
 
 pub mod bool;
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,73 @@
+//! `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Yields `Some` from the inner strategy with the given probability,
+/// `None` otherwise.
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_range(0u64..1_000_000) < (self.some_probability * 1e6) as u64 {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` three times out of four (real proptest's default), `None`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.75, inner)
+}
+
+/// `Some` with probability `some_probability`.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "probability must be in [0, 1]"
+    );
+    OptionStrategy {
+        inner,
+        some_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_case;
+
+    #[test]
+    fn of_yields_both_variants_in_range() {
+        let mut rng = rng_for_case(0);
+        let s = of(3u32..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..400 {
+            match s.new_value(&mut rng) {
+                Some(v) => {
+                    assert!((3..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > none, "Some dominates at p = 0.75 ({some}/{none})");
+        assert!(none > 0, "None must appear");
+    }
+
+    #[test]
+    fn weighted_extremes_are_deterministic() {
+        let mut rng = rng_for_case(1);
+        assert_eq!(weighted(0.0, 0u32..5).new_value(&mut rng), None);
+        assert!(weighted(1.0, 0u32..5).new_value(&mut rng).is_some());
+    }
+}
