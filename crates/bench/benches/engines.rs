@@ -38,15 +38,30 @@ fn bench_participant(c: &mut Criterion) {
     let cat = catalog(4, 4);
     let sp = spec(&cat, 4, ProtocolKind::QuorumCommit1);
     c.bench_function("participant/vote_req", |b| {
+        let mut out = Vec::new();
         b.iter(|| {
             let mut p = Participant::new(SiteId(1), TxnId(1), ParticipantConfig::default());
-            black_box(p.on_msg(SiteId(0), &Msg::VoteReq { spec: sp.clone() }, Version(0)))
+            out.clear();
+            p.on_msg(
+                SiteId(0),
+                &Msg::VoteReq { spec: sp.clone() },
+                Version(0),
+                &mut out,
+            );
+            black_box(&out);
         })
     });
     c.bench_function("participant/full_commit_path", |b| {
+        let mut out = Vec::new();
         b.iter(|| {
             let mut p = Participant::new(SiteId(1), TxnId(1), ParticipantConfig::default());
-            p.on_msg(SiteId(0), &Msg::VoteReq { spec: sp.clone() }, Version(0));
+            out.clear();
+            p.on_msg(
+                SiteId(0),
+                &Msg::VoteReq { spec: sp.clone() },
+                Version(0),
+                &mut out,
+            );
             p.on_msg(
                 SiteId(0),
                 &Msg::PrepareCommit {
@@ -54,15 +69,18 @@ fn bench_participant(c: &mut Criterion) {
                     commit_version: Version(1),
                 },
                 Version(0),
+                &mut out,
             );
-            black_box(p.on_msg(
+            p.on_msg(
                 SiteId(0),
                 &Msg::Commit {
                     txn: TxnId(1),
                     commit_version: Version(1),
                 },
                 Version(0),
-            ))
+                &mut out,
+            );
+            black_box(&out);
         })
     });
 }
@@ -77,16 +95,19 @@ fn bench_coordinator(c: &mut Criterion) {
     ] {
         let sp = spec(&cat, 4, protocol);
         c.bench_function(&format!("coordinator/all_votes/{}", protocol.name()), |b| {
+            let mut out = Vec::new();
             b.iter(|| {
                 let mut coord = Coordinator::new(sp.clone(), None);
-                coord.start();
+                out.clear();
+                coord.start(&mut out);
                 let participants: Vec<SiteId> = sp.participants.iter().copied().collect();
                 for &s in &participants {
-                    black_box(coord.on_vote(s, true, Version(0), &cat));
+                    coord.on_vote(s, true, Version(0), &cat, &mut out);
                 }
                 for &s in &participants {
-                    black_box(coord.on_pc_ack(s, &cat));
+                    coord.on_pc_ack(s, &cat, &mut out);
                 }
+                black_box(&out);
             })
         });
     }

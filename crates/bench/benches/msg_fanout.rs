@@ -55,9 +55,12 @@ fn bench_broadcast_build(c: &mut Criterion) {
     // actions — the per-transaction (not per-recipient) fixed cost.
     let sp = spec(16);
     c.bench_function("msg_fanout/coordinator_start/16items", |b| {
+        let mut actions = Vec::new();
         b.iter(|| {
             let mut coord = qbc_core::Coordinator::new(Arc::clone(&sp), None);
-            black_box(coord.start())
+            actions.clear();
+            coord.start(&mut actions);
+            black_box(&actions);
         })
     });
 }

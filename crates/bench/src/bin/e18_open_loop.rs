@@ -1,0 +1,275 @@
+//! E18 — open-loop serving capacity of the event-driven reactor
+//! front door.
+//!
+//! The reactor multiplexes every site plus the client front door onto a
+//! small fixed pool of event-loop workers; client sessions are logical
+//! state machines over framed sockets, so tens of thousands can be in
+//! flight without tens of thousands of threads. This experiment drives
+//! the open-loop generator (`qbc_harness::open_loop`) — arrivals
+//! decoupled from completions, the shape a real front door sees — at
+//! 1k / 10k / 30k concurrent sessions across three commit protocols,
+//! and puts the threaded one-thread-per-site transport next to it at
+//! the session count where a thread-per-blocked-client serving model
+//! stops being reasonable on one box.
+//!
+//! Measured per cell: committed/s over the whole wave, client-observed
+//! p50/p99/max session latency (microseconds), peak sessions in flight
+//! as counted by the server's front door, resubmissions, and the
+//! atomicity audit over the final node states.
+//!
+//! Expected shape — the acceptance bar:
+//! * every cell resolves every session (nothing `Failed`), consistently;
+//! * at the 10k+ levels the front door actually *sustains* ≥ 10 000
+//!   sessions in flight at once (full run; the smoke run scales down);
+//! * reactor committed/s at every level is at least the threaded
+//!   baseline's at its max feasible count — the event-driven front end
+//!   does not buy concurrency by giving back throughput.
+//!
+//! Output: a human table plus `BENCH_e18.json` (`--smoke` writes
+//! `BENCH_e18_smoke.json` with smaller waves so CI stays fast and never
+//! clobbers committed full-run numbers).
+
+use qbc_cluster::{ClusterConfig, ReactorConfig};
+use qbc_core::ProtocolKind;
+use qbc_harness::open_loop::{
+    run_open_loop, run_threaded_baseline, OpenLoopConfig, OpenLoopReport, ThreadedBaselineReport,
+};
+use qbc_simnet::Duration;
+use std::fmt::Write as _;
+
+/// The protocols compared: the blocking baseline, the paper's faster
+/// quorum commit, and Paxos Commit.
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::TwoPhase,
+    ProtocolKind::QuorumCommit2,
+    ProtocolKind::PaxosCommit,
+];
+
+/// Two shards, three sites each, r = w = 2 — the cluster default shape
+/// — over an item space wide enough that the 30k wave's round-robin
+/// item assignment stays unique (committed/s measures the commit
+/// pipeline, not no-wait-2PL aborts). `t_bound` is generous: on
+/// wall-clock substrates ticks are milliseconds, and a deep open-loop
+/// backlog must not trip presumed-abort vote timers that simulate site
+/// death.
+fn cluster_cfg(protocol: ProtocolKind) -> ClusterConfig {
+    ClusterConfig {
+        items_per_shard: 16_384,
+        protocol,
+        t_bound: Duration(2_000),
+        seed: 18,
+        ..Default::default()
+    }
+}
+
+/// Reactor tuning for the sweep: the front-door liveness sweep is
+/// pushed out so a deep backlog is never mistaken for a swallowed
+/// begin.
+fn reactor_cfg() -> ReactorConfig {
+    ReactorConfig {
+        txn_timeout_ms: 600_000,
+        ..Default::default()
+    }
+}
+
+struct Cell {
+    protocol: ProtocolKind,
+    report: OpenLoopReport,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let levels: &[u64] = if smoke {
+        &[200, 1_000, 2_000]
+    } else {
+        &[1_000, 10_000, 30_000]
+    };
+    let baseline_sessions: u64 = if smoke { 200 } else { 1_000 };
+
+    println!("E18 — open-loop serving capacity: reactor front door vs threaded transport");
+    println!(
+        "(2 shards x 3 sites, r=w=2, {} items, burst arrivals, levels {levels:?})\n",
+        2 * 16_384
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut baselines: Vec<(ProtocolKind, ThreadedBaselineReport)> = Vec::new();
+    for protocol in PROTOCOLS {
+        for &sessions in levels {
+            let report = run_open_loop(&OpenLoopConfig {
+                cluster: cluster_cfg(protocol),
+                reactor: reactor_cfg(),
+                sessions,
+                rate: 0.0,
+            });
+            cells.push(Cell { protocol, report });
+        }
+        baselines.push((
+            protocol,
+            run_threaded_baseline(&cluster_cfg(protocol), baseline_sessions),
+        ));
+    }
+
+    println!(
+        "{:<14} {:>8} {:>9} {:>7} {:>7} {:>9} {:>12} {:>9} {:>9} {:>10}",
+        "protocol",
+        "sessions",
+        "peak",
+        "commit",
+        "abort",
+        "resubmit",
+        "committed/s",
+        "p50 us",
+        "p99 us",
+        "wall ms",
+    );
+    for c in &cells {
+        let r = &c.report;
+        println!(
+            "{:<14} {:>8} {:>9} {:>7} {:>7} {:>9} {:>12.0} {:>9} {:>9} {:>10}",
+            format!("{:?}", c.protocol),
+            r.sessions,
+            r.peak_in_flight,
+            r.committed,
+            r.aborted,
+            r.resubmits,
+            r.committed_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.wall.as_millis(),
+        );
+    }
+    println!();
+    for (p, b) in &baselines {
+        println!(
+            "threaded {:<14} {:>6} sessions: {:>7} committed, {:>10.0} committed/s, wall {} ms (settle {} ms)",
+            format!("{p:?}"),
+            b.sessions,
+            b.committed,
+            b.committed_per_sec,
+            b.wall.as_millis(),
+            b.settle.as_millis(),
+        );
+    }
+    println!();
+
+    // Acceptance.
+    for c in &cells {
+        let r = &c.report;
+        let p = c.protocol;
+        assert!(r.consistent, "{p:?}/{}: atomicity violated", r.sessions);
+        assert_eq!(r.failed, 0, "{p:?}/{}: sessions failed", r.sessions);
+        assert_eq!(
+            r.committed + r.aborted,
+            r.sessions,
+            "{p:?}/{}: sessions unresolved",
+            r.sessions
+        );
+        assert!(
+            r.committed >= r.sessions * 9 / 10,
+            "{p:?}/{}: only {} committed",
+            r.sessions,
+            r.committed
+        );
+        // The front door must genuinely hold the wave concurrently, not
+        // drain it as it trickles in. The bar is half the wave because
+        // decisions overlap submission (one core serves both the
+        // generator and the event loops); the absolute 10k bar below is
+        // the headline claim.
+        assert!(
+            r.peak_in_flight >= r.sessions / 2,
+            "{p:?}/{}: peak in flight only {}",
+            r.sessions,
+            r.peak_in_flight
+        );
+    }
+    if !smoke {
+        for p in PROTOCOLS {
+            let sustained = cells
+                .iter()
+                .filter(|c| c.protocol == p)
+                .map(|c| c.report.peak_in_flight)
+                .max()
+                .unwrap_or(0);
+            assert!(
+                sustained >= 10_000,
+                "{p:?}: never sustained 10k concurrent sessions (peak {sustained})"
+            );
+        }
+    }
+    for (p, b) in &baselines {
+        assert!(b.consistent && b.undecided == 0, "{p:?} baseline unsettled");
+        let floor = b.committed_per_sec;
+        for c in cells.iter().filter(|c| c.protocol == *p) {
+            assert!(
+                c.report.committed_per_sec >= floor,
+                "{p:?}/{}: reactor {:.0} committed/s under threaded {:.0}",
+                c.report.sessions,
+                c.report.committed_per_sec,
+                floor
+            );
+        }
+    }
+    println!(
+        "acceptance: all sessions resolved, peak in flight {} across cells, \
+         reactor committed/s >= threaded baseline on every protocol — OK",
+        cells
+            .iter()
+            .map(|c| c.report.peak_in_flight)
+            .max()
+            .unwrap_or(0)
+    );
+
+    let mut json =
+        String::from("{\n  \"bench\": \"e18_open_loop\",\n  \"unit\": \"wall-clock\",\n");
+    let _ = write!(json, "  \"levels\": {levels:?},\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let r = &c.report;
+        let _ = write!(
+            json,
+            "    {{\"protocol\": \"{:?}\", \"sessions\": {}, \"peak_in_flight\": {}, \"committed\": {}, \"aborted\": {}, \"failed\": {}, \"resubmits\": {}, \"backpressure_stalls\": {}, \"wall_ms\": {}, \"submit_wall_ms\": {}, \"committed_per_sec\": {:.1}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            c.protocol,
+            r.sessions,
+            r.peak_in_flight,
+            r.committed,
+            r.aborted,
+            r.failed,
+            r.resubmits,
+            r.backpressure_stalls,
+            r.wall.as_millis(),
+            r.submit_wall.as_millis(),
+            r.committed_per_sec,
+            r.mean_us,
+            r.p50_us,
+            r.p99_us,
+            r.max_us,
+        );
+    }
+    json.push_str("\n  ],\n  \"threaded_baseline\": [\n");
+    for (i, (p, b)) in baselines.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"protocol\": \"{p:?}\", \"sessions\": {}, \"committed\": {}, \"aborted\": {}, \"wall_ms\": {}, \"settle_ms\": {}, \"committed_per_sec\": {:.1}}}",
+            b.sessions,
+            b.committed,
+            b.aborted,
+            b.wall.as_millis(),
+            b.settle.as_millis(),
+            b.committed_per_sec,
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    let out = if smoke {
+        "BENCH_e18_smoke.json"
+    } else {
+        "BENCH_e18.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -48,6 +48,13 @@ pub struct ClusterConfig {
     /// after the decision (see [`qbc_db::NodeConfig::retire_after`]).
     /// `None` (the default) keeps every entry forever.
     pub retire_after: Option<Duration>,
+    /// Age retired outcome records out of the compact maps entirely
+    /// this long after retirement (see
+    /// [`qbc_db::NodeConfig::retire_horizon`]), so checkpoints are
+    /// O(live + horizon) rather than O(history). Pick a horizon several
+    /// times the widest straggler/retry window. `None` (the default)
+    /// keeps retired outcomes forever.
+    pub retire_horizon: Option<Duration>,
     /// Root directory for file-backed WALs: site `k` logs to
     /// `<wal_dir>/site-<k>`. `None` (the default) keeps the
     /// deterministic in-memory backend at every site. Reopening an
@@ -111,6 +118,7 @@ impl Default for ClusterConfig {
             adaptive_commit_window: false,
             force_latency: Duration::ZERO,
             retire_after: None,
+            retire_horizon: None,
             wal_dir: None,
             wal_segment_bytes: 4 << 20,
             wal_fsync: true,
@@ -162,6 +170,13 @@ impl ClusterConfig {
     /// Sets the decided-state retention window (builder style).
     pub fn with_retirement(mut self, after: Duration) -> Self {
         self.retire_after = Some(after);
+        self
+    }
+
+    /// Sets the retired-outcome aging horizon (builder style; see
+    /// [`ClusterConfig::retire_horizon`]).
+    pub fn with_retire_horizon(mut self, horizon: Duration) -> Self {
+        self.retire_horizon = Some(horizon);
         self
     }
 

@@ -16,6 +16,12 @@
 //!   do the same for quorum reads.
 //! * [`ThreadedCluster`] — the same cluster on the real-time threaded
 //!   transport, driven through the `NetMsg::BeginTxn` wire request.
+//! * [`ReactorCluster`] — the same cluster on the event-driven
+//!   `qbc-reactor` transport: every site plus the client front door
+//!   multiplexed onto a small fixed pool of event-loop workers, client
+//!   sessions as future-style [`Handle`]s over framed sockets, sites
+//!   killable mid-run with automatic rerouting and client
+//!   resubmission. See `docs/async-runtime.md`.
 //! * [`ClusterMetrics`] — per-shard commit/abort/blocked counters,
 //!   client-observed latency histograms, in-flight queue depths and WAL
 //!   force counts, harvestable mid-run.
@@ -50,6 +56,7 @@ mod config;
 mod harvest;
 pub mod mc_harness;
 mod metrics;
+mod reactor_cluster;
 mod shard;
 mod sim_cluster;
 mod threaded_cluster;
@@ -57,6 +64,8 @@ mod threaded_cluster;
 pub use config::ClusterConfig;
 pub use metrics::{AtomicityViolation, ClusterMetrics, LatencyHistogram, ShardMetrics};
 pub use qbc_obs::{Obs, ObsConfig, Registry};
+pub use qbc_reactor::{ClientStats, Handle, Outcome, PollerKind, ServerStats};
+pub use reactor_cluster::{ReactorCluster, ReactorConfig, ReactorReport};
 pub use shard::{ShardId, ShardMap};
 pub use sim_cluster::{ReadHandle, Session, SimCluster, TxnHandle, TxnStatus};
 pub use threaded_cluster::{ClusterReport, ThreadedCluster};

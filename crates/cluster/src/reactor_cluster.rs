@@ -1,0 +1,366 @@
+//! The cluster front-end on the event-driven reactor transport.
+//!
+//! Third substrate, same cluster: the deterministic simulator carries
+//! the correctness evidence, the threaded transport demonstrates
+//! substrate independence, and this front-end is the *serving* shape —
+//! every site plus the client front door multiplexed onto a small
+//! fixed pool of `qbc-reactor` event-loop workers, with clients as
+//! logical sessions over framed sockets instead of in-process calls.
+//!
+//! Placement and routing are byte-identical to the other front-ends:
+//! the same [`ShardMap`], the same round-robin coordinator rotation
+//! (extended to skip killed sites — the reactor is the substrate where
+//! sites die mid-run and clients keep submitting), and the same
+//! [`ShardMap::xtxn_branches`] split for cross-shard writesets. The
+//! differential test in `tests/reactor.rs` holds this front-end to the
+//! threaded baseline's decisions.
+
+use crate::config::ClusterConfig;
+use crate::harvest::{build_nodes, first_fresh_txn, harvest, make_obs};
+use crate::metrics::{AtomicityViolation, ClusterMetrics};
+use crate::shard::{ShardId, ShardMap};
+use crate::sim_cluster::TxnHandle;
+use qbc_core::{Decision, ProtocolKind, TxnId, WriteSet};
+use qbc_db::NetMsg;
+use qbc_obs::{LatencyHistogram, Obs, Registry};
+use qbc_reactor::{
+    ClientConfig, ClientStats, Handle, Planner, PollerKind, ReactorClient, ReactorServer,
+    ServerConfig, ServerStats,
+};
+use qbc_simnet::{SiteId, Time};
+use qbc_votes::ItemId;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Reactor substrate tuning (the cluster-level knobs stay in
+/// [`ClusterConfig`]).
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Event-loop workers hosting the sites and the front door.
+    pub workers: usize,
+    /// Client connection pool size (sessions are logical and
+    /// multiplexed over these).
+    pub client_conns: usize,
+    /// Poller backend for server and client.
+    pub poller: PollerKind,
+    /// Per-connection queued-reply bytes before the front door pauses
+    /// reading that connection.
+    pub write_hwm: usize,
+    /// Client resubmission attempts before a session fails.
+    pub max_attempts: u32,
+    /// In-flight transaction age (ms) before the front door answers
+    /// `Rejected` so the client resubmits (see
+    /// `qbc_reactor::ServerConfig::txn_timeout_ms`).
+    pub txn_timeout_ms: u64,
+    /// Optional `SO_SNDBUF` for accepted connections (tests shrink it
+    /// to exercise backpressure cheaply).
+    pub sockbuf: Option<i32>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 2,
+            client_conns: 4,
+            poller: PollerKind::default(),
+            write_hwm: 256 * 1024,
+            max_attempts: 64,
+            txn_timeout_ms: 30_000,
+            sockbuf: None,
+        }
+    }
+}
+
+/// What the planner records per planned submission, shared with the
+/// front-end for the shutdown harvest.
+struct PlanState {
+    handles: Vec<TxnHandle>,
+    xshards: BTreeMap<TxnId, Vec<ShardId>>,
+    rr_by_shard: Vec<u64>,
+}
+
+/// The [`Planner`] the front door consults: same rotation and branch
+/// split as the other substrates, minus whatever sites are down.
+struct ClusterPlanner {
+    map: ShardMap,
+    protocol: ProtocolKind,
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl ClusterPlanner {
+    /// Round-robin coordinator pick skipping down sites; `None` when
+    /// the whole shard is down.
+    fn pick(
+        map: &ShardMap,
+        state: &mut PlanState,
+        shard: ShardId,
+        down: &std::collections::BTreeSet<SiteId>,
+    ) -> Option<SiteId> {
+        let width = map.sites_of(shard).len();
+        for _ in 0..width {
+            let n = state.rr_by_shard[shard.0 as usize];
+            state.rr_by_shard[shard.0 as usize] += 1;
+            let site = map.coordinator(shard, n);
+            if !down.contains(&site) {
+                return Some(site);
+            }
+        }
+        None
+    }
+}
+
+impl Planner for ClusterPlanner {
+    fn plan_submit(
+        &mut self,
+        now: Time,
+        txn: TxnId,
+        writes: &[(ItemId, i64)],
+        down: &std::collections::BTreeSet<SiteId>,
+    ) -> Option<(SiteId, NetMsg)> {
+        let writeset = WriteSet::new(writes.iter().copied());
+        if writeset.updates.is_empty() {
+            return None;
+        }
+        let split = self.map.split_writeset(&writeset);
+        let (home, _) = split[0];
+        let mut state = self.state.lock().expect("plan state");
+        let coordinator = Self::pick(&self.map, &mut state, home, down)?;
+        let msg = if split.len() == 1 {
+            let (_, writeset) = split.into_iter().next().expect("one slice");
+            NetMsg::BeginTxn {
+                txn,
+                writeset,
+                protocol: self.protocol,
+            }
+        } else {
+            let shards: Vec<ShardId> = split.iter().map(|(s, _)| *s).collect();
+            let mut picks: BTreeMap<ShardId, SiteId> = BTreeMap::new();
+            for &s in shards.iter().filter(|&&s| s != home) {
+                picks.insert(s, Self::pick(&self.map, &mut state, s, down)?);
+            }
+            let branches =
+                self.map
+                    .xtxn_branches(txn, self.protocol, coordinator, home, split, |s| picks[&s]);
+            state.xshards.insert(txn, shards);
+            NetMsg::BeginXTxn { txn, branches }
+        };
+        state.handles.push(TxnHandle {
+            txn,
+            shard: home,
+            coordinator,
+            submitted_at: now,
+        });
+        Some((coordinator, msg))
+    }
+
+    fn plan_read(
+        &mut self,
+        item: ItemId,
+        down: &std::collections::BTreeSet<SiteId>,
+    ) -> Option<SiteId> {
+        let shard = self.map.shard_of_item(item)?;
+        let mut state = self.state.lock().expect("plan state");
+        Self::pick(&self.map, &mut state, shard, down)
+    }
+}
+
+/// A per-process-unique Unix socket path under the system temp dir.
+fn socket_path() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("qbc-reactor-{}-{n}.sock", std::process::id()))
+}
+
+/// Final state of a reactor cluster run, computed at shutdown.
+#[derive(Debug)]
+pub struct ReactorReport {
+    /// Outcome of every *accepted* submission attempt (each client
+    /// resubmission is a fresh attempt), in planning order.
+    pub decisions: Vec<(TxnHandle, Option<Decision>)>,
+    /// Per-shard metrics harvested from the final node states.
+    pub metrics: ClusterMetrics,
+    /// Transactions that terminated inconsistently (must be empty).
+    pub atomicity_violations: Vec<AtomicityViolation>,
+    /// Reactor front-door counters.
+    pub server: ServerStats,
+    /// Client-side counters (committed/aborted/failed, resubmits,
+    /// reconnects).
+    pub client: ClientStats,
+    /// Client-observed end-to-end session latency, recorded in
+    /// microseconds.
+    pub latency: LatencyHistogram,
+    /// The cluster's observer, when configured.
+    pub obs: Option<Arc<Obs>>,
+}
+
+impl ReactorReport {
+    /// Renders cluster metrics plus the reactor gauges in the
+    /// Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut r = Registry::new();
+        self.metrics.fill_registry(&mut r);
+        self.server.fill_registry(&mut r);
+        r.prometheus_text()
+    }
+}
+
+/// A sharded cluster served through the event-driven reactor.
+pub struct ReactorCluster {
+    map: ShardMap,
+    server: Option<ReactorServer>,
+    client: Option<ReactorClient>,
+    state: Arc<Mutex<PlanState>>,
+    obs: Option<Arc<Obs>>,
+}
+
+impl ReactorCluster {
+    /// Boots the server workers on a fresh Unix socket and connects the
+    /// client pool.
+    pub fn spawn(cfg: ClusterConfig, rcfg: ReactorConfig) -> Self {
+        let map = ShardMap::new(&cfg);
+        let obs = make_obs(&cfg, &map);
+        let nodes = build_nodes(&cfg, &map, obs.as_ref(), true);
+        let first_txn = first_fresh_txn(&nodes);
+        let state = Arc::new(Mutex::new(PlanState {
+            handles: Vec::new(),
+            xshards: BTreeMap::new(),
+            rr_by_shard: vec![0; cfg.shards as usize],
+        }));
+        let planner = Box::new(ClusterPlanner {
+            map: map.clone(),
+            protocol: cfg.protocol,
+            state: Arc::clone(&state),
+        });
+        let path = socket_path();
+        let server = ReactorServer::spawn(
+            ServerConfig {
+                workers: rcfg.workers,
+                poller: rcfg.poller,
+                write_hwm: rcfg.write_hwm,
+                seed: cfg.seed,
+                first_txn,
+                txn_timeout_ms: rcfg.txn_timeout_ms,
+                client_site: SiteId(cfg.total_sites()),
+                sockbuf: rcfg.sockbuf,
+            },
+            nodes,
+            planner,
+            &path,
+        )
+        .expect("spawn reactor server");
+        let client = ReactorClient::connect(
+            &path,
+            ClientConfig {
+                conns: rcfg.client_conns,
+                poller: rcfg.poller,
+                max_attempts: rcfg.max_attempts,
+            },
+        )
+        .expect("connect reactor client");
+        ReactorCluster {
+            map,
+            server: Some(server),
+            client: Some(client),
+            state,
+            obs,
+        }
+    }
+
+    /// The placement map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shared observer, when configured.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// The in-process client (for direct session control — e.g. the
+    /// open-loop generator submits through it at a target rate).
+    pub fn client(&self) -> &ReactorClient {
+        self.client.as_ref().expect("client live")
+    }
+
+    /// Starts a write-transaction session; the returned [`Handle`] is a
+    /// future (also blockingly awaitable) and resubmits itself through
+    /// surviving coordinators on rejection or connection loss.
+    pub fn submit(&self, writes: Vec<(ItemId, i64)>) -> Handle {
+        self.client().submit(writes)
+    }
+
+    /// Starts a snapshot-read session.
+    pub fn snapshot_read(&self, item: ItemId) -> Handle {
+        self.client().snap_read(item)
+    }
+
+    /// Kills a site: it stops being driven, its in-flight traffic is
+    /// dropped, and the planner routes around it. In-flight
+    /// transactions it coordinated resolve through the survivors'
+    /// termination protocol.
+    pub fn kill_site(&self, site: SiteId) {
+        self.server.as_ref().expect("server live").kill_site(site);
+    }
+
+    /// Live reactor front-door counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.as_ref().expect("server live").stats()
+    }
+
+    /// The front door's Unix socket (extra raw connections — e.g. a
+    /// deliberately slow client in the backpressure test — attach
+    /// here).
+    pub fn socket(&self) -> &std::path::Path {
+        self.server.as_ref().expect("server live").socket_path()
+    }
+
+    /// Stops client and server and harvests decisions, metrics and the
+    /// atomicity check from the final node states.
+    pub fn shutdown(mut self) -> ReactorReport {
+        let client = self.client.take().expect("client live");
+        let client_stats = client.stats();
+        let latency = client.latency();
+        client.shutdown();
+        let (nodes, server_stats) = self.server.take().expect("server live").shutdown();
+        let by_site: BTreeMap<SiteId, &qbc_db::SiteNode> =
+            nodes.iter().map(|(s, n)| (*s, n)).collect();
+        let state = self.state.lock().expect("plan state");
+        let (metrics, atomicity_violations) = harvest(
+            &self.map,
+            &state.handles,
+            &state.xshards,
+            &by_site,
+            Time(u64::MAX),
+        );
+        let decisions = state
+            .handles
+            .iter()
+            .map(|h| {
+                let shards = state
+                    .xshards
+                    .get(&h.txn)
+                    .cloned()
+                    .unwrap_or_else(|| vec![h.shard]);
+                let d = shards
+                    .iter()
+                    .flat_map(|&s| self.map.sites_of(s))
+                    .find_map(|s| by_site.get(&s).and_then(|n| n.decision(h.txn)));
+                (*h, d)
+            })
+            .collect();
+        if let (Some(obs), Some(v)) = (&self.obs, atomicity_violations.first()) {
+            let _ = obs.dump(&format!("atomicity violation: txn {}", v.txn.0));
+        }
+        ReactorReport {
+            decisions,
+            metrics,
+            atomicity_violations,
+            server: server_stats,
+            client: client_stats,
+            latency,
+            obs: self.obs.clone(),
+        }
+    }
+}

@@ -137,7 +137,7 @@ impl SimCluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let map = ShardMap::new(&cfg);
         let obs = make_obs(&cfg, &map);
-        let nodes = build_nodes(&cfg, &map, obs.as_ref());
+        let nodes = build_nodes(&cfg, &map, obs.as_ref(), false);
         // Durable id allocation: a cluster reopening file-backed logs
         // resumes numbering past its previous incarnation's ids.
         let next_txn = first_fresh_txn(&nodes);

@@ -77,7 +77,7 @@ impl ThreadedCluster {
     pub fn spawn(cfg: ClusterConfig, delay_ms: u64) -> Self {
         let map = ShardMap::new(&cfg);
         let obs = make_obs(&cfg, &map);
-        let nodes = build_nodes(&cfg, &map, obs.as_ref());
+        let nodes = build_nodes(&cfg, &map, obs.as_ref(), false);
         // Durable id allocation (computed before the nodes move onto
         // their threads): resume numbering past any reopened logs.
         let next_txn = first_fresh_txn(&nodes);

@@ -13,14 +13,27 @@ const TXNS: u64 = 300;
 const THINK: u64 = 40;
 
 fn run(retire: Option<Duration>) -> (SimCluster, usize) {
+    let (cluster, peak_table, _) = run_with_horizon(retire, None);
+    (cluster, peak_table)
+}
+
+/// Drives the shared workload and additionally samples the peak size of
+/// the compact retired maps (retired + xretired, max over sites) — the
+/// quantity the aging horizon bounds.
+fn run_with_horizon(
+    retire: Option<Duration>,
+    horizon: Option<Duration>,
+) -> (SimCluster, usize, usize) {
     let mut cfg = ClusterConfig {
         shards: 2,
         seed: 13,
         ..ClusterConfig::default()
     };
     cfg.retire_after = retire;
+    cfg.retire_horizon = horizon;
     let mut cluster = SimCluster::new(cfg);
     let mut peak_table = 0usize;
+    let mut peak_retired = 0usize;
     for k in 0..TXNS {
         let ws = if k % 5 == 4 {
             // A cross-shard transaction rides along: its branch state
@@ -48,13 +61,20 @@ fn run(retire: Option<Duration>) -> (SimCluster, usize) {
             .max()
             .unwrap_or(0);
         peak_table = peak_table.max(sample);
+        let retired_sample: usize = cluster
+            .sim()
+            .nodes()
+            .map(|(_, n)| n.retired_len() + n.xretired_len())
+            .max()
+            .unwrap_or(0);
+        peak_retired = peak_retired.max(retired_sample);
     }
     for _ in 0..50 {
         if cluster.run_to_quiescence(5_000_000).drained() {
             break;
         }
     }
-    (cluster, peak_table)
+    (cluster, peak_table, peak_retired)
 }
 
 #[test]
@@ -89,6 +109,42 @@ fn retirement_bounds_the_per_site_txn_table() {
         );
     }
     assert!(any_retired, "no site retired anything");
+}
+
+#[test]
+fn aging_bounds_the_retired_maps() {
+    // With a horizon, the compact outcome maps are bounded by what
+    // retires inside one horizon; the unaged control accumulates the
+    // whole run's history. Same workload, same retention window — the
+    // gap is the aging sweep's doing.
+    let window = Duration(400);
+    let horizon = Duration(1_600);
+    let (aged_cluster, _, aged_peak) = run_with_horizon(Some(window), Some(horizon));
+    let (control_cluster, _, control_peak) = run_with_horizon(Some(window), None);
+
+    // Aging must not cost correctness: identical workload outcomes.
+    assert_eq!(aged_cluster.atomicity_violations(), vec![]);
+    assert_eq!(aged_cluster.engine_violations(), vec![]);
+    let handles: Vec<_> = aged_cluster.handles().to_vec();
+    assert!(handles.iter().all(|h| aged_cluster.status(h).is_resolved()));
+
+    // The unaged control accumulates history (most of the 300-txn run
+    // ends up retired somewhere); the aged run stays near what a single
+    // horizon can hold.
+    assert!(
+        control_peak as u64 > TXNS / 3,
+        "control retired maps peaked at only {control_peak}"
+    );
+    let bound = (2 * (window.0 + horizon.0) / THINK + 20) as usize;
+    assert!(
+        aged_peak < bound,
+        "aged retired maps peaked at {aged_peak} (want < {bound})"
+    );
+    assert!(
+        aged_peak * 2 < control_peak,
+        "aging saved too little: aged {aged_peak} vs control {control_peak}"
+    );
+    drop(control_cluster);
 }
 
 #[test]

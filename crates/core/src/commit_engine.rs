@@ -37,18 +37,24 @@ pub struct EngineCtx<'a> {
 
 /// One commit-protocol role (coordinator, participant, Paxos leader)
 /// for one transaction, as a uniform message-in/actions-out machine.
+///
+/// Effects are appended to a caller-supplied scratch buffer rather than
+/// returned in a fresh `Vec`: the driver recycles a small pool of
+/// buffers, so the steady-state message path performs no allocation per
+/// event. Engines only ever *push* — they must not read, clear, or
+/// reorder what the caller already buffered.
 pub trait CommitEngine: qbc_simnet::Fingerprint {
     /// The transaction this engine drives.
     fn txn(&self) -> TxnId;
 
     /// Kicks the engine off (no-op for purely reactive roles).
-    fn start(&mut self) -> Vec<Action>;
+    fn start(&mut self, out: &mut Vec<Action>);
 
-    /// Feeds one protocol message; returns the effects.
-    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>) -> Vec<Action>;
+    /// Feeds one protocol message; appends the effects to `out`.
+    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>, out: &mut Vec<Action>);
 
-    /// Feeds one timer expiry; returns the effects.
-    fn on_timer(&mut self, kind: TimerKind, ctx: &EngineCtx<'_>) -> Vec<Action>;
+    /// Feeds one timer expiry; appends the effects to `out`.
+    fn on_timer(&mut self, kind: TimerKind, ctx: &EngineCtx<'_>, out: &mut Vec<Action>);
 
     /// The irrevocable outcome, once this engine reached one.
     fn decision(&self) -> Option<Decision>;
@@ -67,30 +73,30 @@ impl CommitEngine for Coordinator {
         Coordinator::txn(self)
     }
 
-    fn start(&mut self) -> Vec<Action> {
-        Coordinator::start(self)
+    fn start(&mut self, out: &mut Vec<Action>) {
+        Coordinator::start(self, out)
     }
 
-    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>) -> Vec<Action> {
+    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
         match msg {
             Msg::Vote {
                 yes, max_version, ..
-            } => self.on_vote(from, *yes, *max_version, ctx.catalog),
-            Msg::PcAck { .. } => self.on_pc_ack(from, ctx.catalog),
+            } => self.on_vote(from, *yes, *max_version, ctx.catalog, out),
+            Msg::PcAck { .. } => self.on_pc_ack(from, ctx.catalog, out),
             Msg::XDecide {
                 decision,
                 commit_version,
                 ..
-            } => self.on_x_decide(*decision, *commit_version),
-            _ => Vec::new(),
+            } => self.on_x_decide(*decision, *commit_version, out),
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, kind: TimerKind, ctx: &EngineCtx<'_>) -> Vec<Action> {
+    fn on_timer(&mut self, kind: TimerKind, ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
         match kind {
-            TimerKind::VoteCollection { .. } => self.on_vote_timer(),
-            TimerKind::AckCollection { .. } => self.on_ack_timer(ctx.catalog),
-            _ => Vec::new(),
+            TimerKind::VoteCollection { .. } => self.on_vote_timer(out),
+            TimerKind::AckCollection { .. } => self.on_ack_timer(ctx.catalog, out),
+            _ => {}
         }
     }
 
@@ -115,18 +121,17 @@ impl CommitEngine for Participant {
         Participant::txn(self)
     }
 
-    fn start(&mut self) -> Vec<Action> {
-        Vec::new() // participants are purely reactive
+    fn start(&mut self, _out: &mut Vec<Action>) {
+        // participants are purely reactive
     }
 
-    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>) -> Vec<Action> {
-        Participant::on_msg(self, from, msg, ctx.local_max_version)
+    fn on_msg(&mut self, from: SiteId, msg: &Msg, ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
+        Participant::on_msg(self, from, msg, ctx.local_max_version, out)
     }
 
-    fn on_timer(&mut self, kind: TimerKind, _ctx: &EngineCtx<'_>) -> Vec<Action> {
-        match kind {
-            TimerKind::CoordinatorWatch { .. } => self.on_coordinator_silent(),
-            _ => Vec::new(),
+    fn on_timer(&mut self, kind: TimerKind, _ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
+        if let TimerKind::CoordinatorWatch { .. } = kind {
+            self.on_coordinator_silent(out)
         }
     }
 
@@ -183,10 +188,15 @@ mod tests {
         };
         let mut direct = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
         let mut via_trait = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        assert_eq!(direct.start(), CommitEngine::start(&mut via_trait));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        direct.start(&mut a);
+        CommitEngine::start(&mut via_trait, &mut b);
+        assert_eq!(a, b);
         for s in 0..3u32 {
-            let a = direct.on_vote(SiteId(s), true, Version(s as u64), &cat);
-            let b = via_trait.on_msg(
+            a.clear();
+            b.clear();
+            direct.on_vote(SiteId(s), true, Version(s as u64), &cat, &mut a);
+            via_trait.on_msg(
                 SiteId(s),
                 &Msg::Vote {
                     txn: TxnId(1),
@@ -194,6 +204,7 @@ mod tests {
                     max_version: Version(s as u64),
                 },
                 &ctx,
+                &mut b,
             );
             assert_eq!(a, b);
         }
@@ -212,13 +223,15 @@ mod tests {
         let req = Msg::VoteReq {
             spec: spec(ProtocolKind::QuorumCommit1),
         };
-        assert_eq!(
-            direct.on_msg(SiteId(0), &req, Version(5)),
-            CommitEngine::on_msg(&mut via_trait, SiteId(0), &req, &ctx)
-        );
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        direct.on_msg(SiteId(0), &req, Version(5), &mut a);
+        CommitEngine::on_msg(&mut via_trait, SiteId(0), &req, &ctx, &mut b);
+        assert_eq!(a, b);
         // The watchdog timer maps to the coordinator-silence event.
-        let a = direct.on_coordinator_silent();
-        let b = via_trait.on_timer(TimerKind::CoordinatorWatch { txn: TxnId(1) }, &ctx);
+        a.clear();
+        b.clear();
+        direct.on_coordinator_silent(&mut a);
+        via_trait.on_timer(TimerKind::CoordinatorWatch { txn: TxnId(1) }, &ctx, &mut b);
         assert_eq!(a, b);
         assert!(matches!(a[0], Action::RequestTermination { .. }));
     }

@@ -154,21 +154,23 @@ impl Coordinator {
     }
 
     /// Kicks off phase 1: durably record coordinatorship, distribute the
-    /// spec (update values included) and wait `2T` for votes.
-    pub fn start(&mut self) -> Vec<Action> {
+    /// spec (update values included) and wait `2T` for votes. Actions
+    /// are appended to the caller's scratch buffer (as everywhere on
+    /// this engine: no per-event allocation in steady state).
+    pub fn start(&mut self, out: &mut Vec<Action>) {
         let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
-        vec![
-            Action::Log(LogRecord::CoordinatorStart {
+        out.push(Action::Log(LogRecord::CoordinatorStart {
+            spec: Arc::clone(&self.spec),
+        }));
+        out.push(Action::Broadcast(
+            everyone,
+            Msg::VoteReq {
                 spec: Arc::clone(&self.spec),
-            }),
-            Action::Broadcast(
-                everyone,
-                Msg::VoteReq {
-                    spec: Arc::clone(&self.spec),
-                },
-            ),
-            Action::SetTimer(TimerKind::VoteCollection { txn: self.spec.id }),
-        ]
+            },
+        ));
+        out.push(Action::SetTimer(TimerKind::VoteCollection {
+            txn: self.spec.id,
+        }));
     }
 
     /// Handles a vote.
@@ -178,20 +180,25 @@ impl Coordinator {
         yes: bool,
         max_version: Version,
         catalog: &Catalog,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         match self.phase {
             CoordPhase::SolicitingVotes => {}
             // A late vote after the decision: help the laggard.
-            CoordPhase::Decided(d) => return vec![self.decision_reply(d)],
-            _ => return Vec::new(),
+            CoordPhase::Decided(d) => {
+                out.push(self.decision_reply(d));
+                return;
+            }
+            _ => return,
         }
         if !self.spec.participants.contains(&from) {
-            return Vec::new();
+            return;
         }
         self.votes.insert(from, (yes, max_version));
         if !yes {
             // "The transaction can be committed iff every site votes yes."
-            return self.abort_unilaterally();
+            self.abort_unilaterally(out);
+            return;
         }
         if self.votes.len() == self.spec.participants.len() {
             // All yes: fix the commit version — one past the newest copy
@@ -207,27 +214,24 @@ impl Coordinator {
                 // 2PC has no prepare round: all-yes is its commit point.
                 // For a branch, durable yes votes *are* the prepared
                 // state (classic hierarchical 2PC), so hold there.
-                ProtocolKind::TwoPhase if self.spec.is_branch() => self.hold_and_vote_yes(),
-                ProtocolKind::TwoPhase => self.decide(Decision::Commit),
+                ProtocolKind::TwoPhase if self.spec.is_branch() => self.hold_and_vote_yes(out),
+                ProtocolKind::TwoPhase => self.decide(Decision::Commit, out),
                 _ => {
                     self.phase = CoordPhase::Preparing;
                     self.build_tallies(catalog);
                     let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
-                    vec![
-                        Action::Broadcast(
-                            everyone,
-                            Msg::PrepareCommit {
-                                txn: self.spec.id,
-                                commit_version: self.commit_version.expect("just set"),
-                            },
-                        ),
-                        Action::SetTimer(TimerKind::AckCollection { txn: self.spec.id }),
-                    ]
+                    out.push(Action::Broadcast(
+                        everyone,
+                        Msg::PrepareCommit {
+                            txn: self.spec.id,
+                            commit_version: self.commit_version.expect("just set"),
+                        },
+                    ));
+                    out.push(Action::SetTimer(TimerKind::AckCollection {
+                        txn: self.spec.id,
+                    }));
                 }
             }
-        } else {
-            let _ = catalog;
-            Vec::new()
         }
     }
 
@@ -243,9 +247,9 @@ impl Coordinator {
 
     /// Handles a PC-ACK; commits when the protocol's commit point is
     /// reached.
-    pub fn on_pc_ack(&mut self, from: SiteId, _catalog: &Catalog) -> Vec<Action> {
+    pub fn on_pc_ack(&mut self, from: SiteId, _catalog: &Catalog, out: &mut Vec<Action>) {
         if self.phase != CoordPhase::Preparing {
-            return Vec::new();
+            return;
         }
         if self.pc_acks.insert(from) {
             // First ack from this site: fold its copy weights into the
@@ -258,12 +262,10 @@ impl Coordinator {
         }
         if self.commit_point_reached() {
             if self.spec.is_branch() {
-                self.hold_and_vote_yes()
+                self.hold_and_vote_yes(out);
             } else {
-                self.decide(Decision::Commit)
+                self.decide(Decision::Commit, out);
             }
-        } else {
-            Vec::new()
         }
     }
 
@@ -272,27 +274,27 @@ impl Coordinator {
     /// branch may not decide unilaterally — no log record is needed,
     /// because recovery of a (non-2PC-parented) branch coordinator never
     /// presumes abort; it rediscovers the outcome from the parent.
-    fn hold_and_vote_yes(&mut self) -> Vec<Action> {
+    fn hold_and_vote_yes(&mut self, out: &mut Vec<Action>) {
         let parent = self.spec.parent.expect("held only for branches");
         self.phase = CoordPhase::Held;
-        vec![Action::Send(
+        out.push(Action::Send(
             parent,
             Msg::XVote {
                 txn: self.spec.id,
                 yes: true,
                 commit_version: self.commit_version,
             },
-        )]
+        ));
     }
 
     /// Aborts before this branch voted yes (no vote received, or the
     /// vote window expired) — always safe: the parent has not counted a
     /// yes from this shard. A plain transaction aborts exactly as
     /// before; a branch additionally reports the no vote upward.
-    fn abort_unilaterally(&mut self) -> Vec<Action> {
-        let mut actions = self.decide(Decision::Abort);
+    fn abort_unilaterally(&mut self, out: &mut Vec<Action>) {
+        self.decide(Decision::Abort, out);
         if let Some(parent) = self.spec.parent {
-            actions.push(Action::Send(
+            out.push(Action::Send(
                 parent,
                 Msg::XVote {
                     txn: self.spec.id,
@@ -301,7 +303,6 @@ impl Coordinator {
                 },
             ));
         }
-        actions
     }
 
     /// The cross-shard decision arrived (branches only): terminate the
@@ -310,17 +311,18 @@ impl Coordinator {
         &mut self,
         decision: Decision,
         commit_version: Option<Version>,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         debug_assert!(self.spec.is_branch(), "X-DECIDE at a non-branch engine");
         match self.phase {
-            CoordPhase::Decided(_) => Vec::new(),
+            CoordPhase::Decided(_) => {}
             _ => {
                 if decision == Decision::Commit && commit_version.is_some() {
                     // The parent echoes the version we reported at Held;
                     // adopt it (defensive no-op in the normal case).
                     self.commit_version = commit_version;
                 }
-                self.decide(decision)
+                self.decide(decision, out);
             }
         }
     }
@@ -361,52 +363,53 @@ impl Coordinator {
     }
 
     /// Commits or aborts: force-log the decision, then command everyone.
-    fn decide(&mut self, decision: Decision) -> Vec<Action> {
+    fn decide(&mut self, decision: Decision, out: &mut Vec<Action>) {
         self.phase = CoordPhase::Decided(decision);
         let everyone: Vec<SiteId> = self.spec.participants.iter().copied().collect();
         match decision {
             Decision::Commit => {
                 let v = self.commit_version.expect("commit implies version");
-                vec![
-                    Action::Log(LogRecord::Decided {
+                out.push(Action::Log(LogRecord::Decided {
+                    txn: self.spec.id,
+                    decision,
+                    commit_version: Some(v),
+                }));
+                out.push(Action::Broadcast(
+                    everyone,
+                    Msg::Commit {
                         txn: self.spec.id,
-                        decision,
-                        commit_version: Some(v),
-                    }),
-                    Action::Broadcast(
-                        everyone,
-                        Msg::Commit {
-                            txn: self.spec.id,
-                            commit_version: v,
-                        },
-                    ),
-                ]
+                        commit_version: v,
+                    },
+                ));
             }
-            Decision::Abort => vec![
-                Action::Log(LogRecord::Decided {
+            Decision::Abort => {
+                out.push(Action::Log(LogRecord::Decided {
                     txn: self.spec.id,
                     decision,
                     commit_version: None,
-                }),
-                Action::Broadcast(everyone, Msg::Abort { txn: self.spec.id }),
-            ],
+                }));
+                out.push(Action::Broadcast(
+                    everyone,
+                    Msg::Abort { txn: self.spec.id },
+                ));
+            }
         }
     }
 
     /// Vote-collection window expired.
-    pub fn on_vote_timer(&mut self) -> Vec<Action> {
+    pub fn on_vote_timer(&mut self, out: &mut Vec<Action>) {
         if self.phase != CoordPhase::SolicitingVotes {
-            return Vec::new();
+            return;
         }
         // Missing votes: presumed-abort (safe for branches too — the
         // yes vote to the parent has not been cast).
-        self.abort_unilaterally()
+        self.abort_unilaterally(out);
     }
 
     /// Ack-collection window expired.
-    pub fn on_ack_timer(&mut self, _catalog: &Catalog) -> Vec<Action> {
+    pub fn on_ack_timer(&mut self, _catalog: &Catalog, out: &mut Vec<Action>) {
         if self.phase != CoordPhase::Preparing {
-            return Vec::new();
+            return;
         }
         match self.spec.protocol {
             // 3PC proceeds: non-acking participants are presumed crashed;
@@ -414,8 +417,8 @@ impl Coordinator {
             // *partition* this presumption is exactly what Example 2
             // exploits — faithful to the original protocol.) A branch
             // holds at this commit point instead of committing.
-            ProtocolKind::ThreePhase if self.spec.is_branch() => self.hold_and_vote_yes(),
-            ProtocolKind::ThreePhase => self.decide(Decision::Commit),
+            ProtocolKind::ThreePhase if self.spec.is_branch() => self.hold_and_vote_yes(out),
+            ProtocolKind::ThreePhase => self.decide(Decision::Commit, out),
             // The quorum protocols may not commit below quorum: hand off
             // to the termination protocol (the coordinator is also a
             // participant and will take part).
@@ -424,9 +427,9 @@ impl Coordinator {
             | ProtocolKind::QuorumCommit2 => {
                 if self.commit_point_reached() {
                     if self.spec.is_branch() {
-                        self.hold_and_vote_yes()
+                        self.hold_and_vote_yes(out);
                     } else {
-                        self.decide(Decision::Commit)
+                        self.decide(Decision::Commit, out);
                     }
                 } else if self.spec.is_branch() {
                     // Below quorum, but PREPARE-TO-COMMITs are out: some
@@ -436,17 +439,67 @@ impl Coordinator {
                     // Keep collecting: either the acks complete (→ Held)
                     // or the parent's vote window expires and X-DECIDE
                     // aborts the branch.
-                    Vec::new()
                 } else {
                     self.phase = CoordPhase::HandedOff;
-                    vec![Action::RequestTermination { txn: self.spec.id }]
+                    out.push(Action::RequestTermination { txn: self.spec.id });
                 }
             }
-            ProtocolKind::TwoPhase => Vec::new(),
+            ProtocolKind::TwoPhase => {}
             ProtocolKind::PaxosCommit => {
                 unreachable!("Paxos Commit transactions use PaxosLeader, not Coordinator")
             }
         }
+    }
+}
+
+/// Collecting wrappers for unit tests: same engine calls, fresh buffer
+/// per call (production code passes a reused scratch buffer instead).
+#[cfg(test)]
+impl Coordinator {
+    fn start_v(&mut self) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.start(&mut v);
+        v
+    }
+
+    fn on_vote_v(
+        &mut self,
+        from: SiteId,
+        yes: bool,
+        max_version: Version,
+        catalog: &Catalog,
+    ) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_vote(from, yes, max_version, catalog, &mut v);
+        v
+    }
+
+    fn on_pc_ack_v(&mut self, from: SiteId, catalog: &Catalog) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_pc_ack(from, catalog, &mut v);
+        v
+    }
+
+    fn on_x_decide_v(
+        &mut self,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_x_decide(decision, commit_version, &mut v);
+        v
+    }
+
+    fn on_vote_timer_v(&mut self) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_vote_timer(&mut v);
+        v
+    }
+
+    fn on_ack_timer_v(&mut self, catalog: &Catalog) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_ack_timer(catalog, &mut v);
+        v
     }
 }
 
@@ -501,7 +554,7 @@ mod tests {
     fn all_yes(c: &mut Coordinator, cat: &Catalog, upto: u32) -> Vec<Action> {
         let mut last = Vec::new();
         for s in 1..=upto {
-            last = c.on_vote(SiteId(s), true, Version(0), cat);
+            last = c.on_vote_v(SiteId(s), true, Version(0), cat);
         }
         last
     }
@@ -510,7 +563,7 @@ mod tests {
     fn two_pc_commits_on_last_yes_vote() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        let start = c.start();
+        let start = c.start_v();
         assert!(matches!(
             start[0],
             Action::Log(LogRecord::CoordinatorStart { .. })
@@ -534,9 +587,9 @@ mod tests {
     fn any_no_vote_aborts() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        c.start();
-        c.on_vote(SiteId(1), true, Version(0), &cat);
-        let actions = c.on_vote(SiteId(2), false, Version(0), &cat);
+        c.start_v();
+        c.on_vote_v(SiteId(1), true, Version(0), &cat);
+        let actions = c.on_vote_v(SiteId(2), false, Version(0), &cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Abort { .. })
@@ -548,11 +601,11 @@ mod tests {
     fn commit_version_is_max_reported_plus_one() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        c.start();
+        c.start_v();
         for s in 1..=7u32 {
-            c.on_vote(SiteId(s), true, Version(s as u64), &cat);
+            c.on_vote_v(SiteId(s), true, Version(s as u64), &cat);
         }
-        c.on_vote(SiteId(8), true, Version(3), &cat);
+        c.on_vote_v(SiteId(8), true, Version(3), &cat);
         assert_eq!(c.commit_version(), Some(Version(8)));
     }
 
@@ -560,7 +613,7 @@ mod tests {
     fn three_pc_waits_for_all_acks() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
-        c.start();
+        c.start_v();
         let actions = all_yes(&mut c, &cat, 8);
         assert!(matches!(
             actions[0],
@@ -568,9 +621,12 @@ mod tests {
         ));
         assert_eq!(c.phase(), CoordPhase::Preparing);
         for s in 1..=7u32 {
-            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty(), "must wait for all");
+            assert!(
+                c.on_pc_ack_v(SiteId(s), &cat).is_empty(),
+                "must wait for all"
+            );
         }
-        let actions = c.on_pc_ack(SiteId(8), &cat);
+        let actions = c.on_pc_ack_v(SiteId(8), &cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Commit { .. })
@@ -581,17 +637,17 @@ mod tests {
     fn qc1_commits_at_write_quorum_of_every_item() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
         // Acks from s1,s2,s3 (3 = w(x) votes of x, 0 of y): not yet.
         for s in 1..=3u32 {
-            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty());
+            assert!(c.on_pc_ack_v(SiteId(s), &cat).is_empty());
         }
         // s5,s6: y at 2 < 3.
-        assert!(c.on_pc_ack(SiteId(5), &cat).is_empty());
-        assert!(c.on_pc_ack(SiteId(6), &cat).is_empty());
+        assert!(c.on_pc_ack_v(SiteId(5), &cat).is_empty());
+        assert!(c.on_pc_ack_v(SiteId(6), &cat).is_empty());
         // s7 completes w(y)=3 → commit with 5-of-8 acks outstanding... 6 acks.
-        let actions = c.on_pc_ack(SiteId(7), &cat);
+        let actions = c.on_pc_ack_v(SiteId(7), &cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Commit { .. })
@@ -602,12 +658,15 @@ mod tests {
     fn qc2_commits_at_read_quorum_of_some_item() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit2), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        assert!(c.on_pc_ack(SiteId(1), &cat).is_empty(), "1 vote of x < r=2");
+        assert!(
+            c.on_pc_ack_v(SiteId(1), &cat).is_empty(),
+            "1 vote of x < r=2"
+        );
         // Second x-copy ack reaches r(x)=2 → commit after only 2 acks:
         // QC2's speed advantage over QC1.
-        let actions = c.on_pc_ack(SiteId(2), &cat);
+        let actions = c.on_pc_ack_v(SiteId(2), &cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Commit { .. })
@@ -619,12 +678,12 @@ mod tests {
         let cat = catalog();
         let sv = SiteVotes::uniform((1..=8).map(SiteId), 5, 4);
         let mut c = Coordinator::new(spec(ProtocolKind::SkeenQuorum), Some(sv));
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
         for s in 1..=4u32 {
-            assert!(c.on_pc_ack(SiteId(s), &cat).is_empty());
+            assert!(c.on_pc_ack_v(SiteId(s), &cat).is_empty());
         }
-        let actions = c.on_pc_ack(SiteId(5), &cat);
+        let actions = c.on_pc_ack_v(SiteId(5), &cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Commit { .. })
@@ -635,9 +694,9 @@ mod tests {
     fn vote_timeout_aborts() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 4); // half the votes
-        let actions = c.on_vote_timer();
+        let actions = c.on_vote_timer_v();
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Abort { .. })
@@ -649,10 +708,10 @@ mod tests {
     fn three_pc_ack_timeout_commits_anyway() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        c.on_pc_ack(SiteId(1), &cat);
-        let actions = c.on_ack_timer(&cat);
+        c.on_pc_ack_v(SiteId(1), &cat);
+        let actions = c.on_ack_timer_v(&cat);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Commit { .. })
@@ -663,10 +722,10 @@ mod tests {
     fn qc1_ack_timeout_below_quorum_hands_off() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        c.on_pc_ack(SiteId(1), &cat);
-        let actions = c.on_ack_timer(&cat);
+        c.on_pc_ack_v(SiteId(1), &cat);
+        let actions = c.on_ack_timer_v(&cat);
         assert!(matches!(actions[0], Action::RequestTermination { .. }));
         assert_eq!(c.phase(), CoordPhase::HandedOff);
     }
@@ -675,9 +734,9 @@ mod tests {
     fn late_vote_after_decision_gets_the_command() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        let actions = c.on_vote(SiteId(3), true, Version(0), &cat);
+        let actions = c.on_vote_v(SiteId(3), true, Version(0), &cat);
         assert!(matches!(actions[0], Action::Reply(Msg::Commit { .. })));
     }
 
@@ -685,8 +744,8 @@ mod tests {
     fn votes_from_non_participants_ignored() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::TwoPhase), None);
-        c.start();
-        assert!(c.on_vote(SiteId(99), true, Version(0), &cat).is_empty());
+        c.start_v();
+        assert!(c.on_vote_v(SiteId(99), true, Version(0), &cat).is_empty());
         assert_eq!(c.phase(), CoordPhase::SolicitingVotes);
     }
 
@@ -701,10 +760,10 @@ mod tests {
     fn branch_holds_at_commit_point_and_votes_yes_upward() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit2), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        assert!(c.on_pc_ack(SiteId(1), &cat).is_empty());
-        let actions = c.on_pc_ack(SiteId(2), &cat);
+        assert!(c.on_pc_ack_v(SiteId(1), &cat).is_empty());
+        let actions = c.on_pc_ack_v(SiteId(2), &cat);
         assert!(
             matches!(
                 actions[0],
@@ -726,7 +785,7 @@ mod tests {
     fn branch_two_phase_holds_on_all_yes() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::TwoPhase), None);
-        c.start();
+        c.start_v();
         let actions = all_yes(&mut c, &cat, 8);
         assert!(matches!(
             actions[0],
@@ -739,9 +798,9 @@ mod tests {
     fn branch_no_vote_aborts_and_reports_upward() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
-        c.on_vote(SiteId(1), true, Version(0), &cat);
-        let actions = c.on_vote(SiteId(2), false, Version(0), &cat);
+        c.start_v();
+        c.on_vote_v(SiteId(1), true, Version(0), &cat);
+        let actions = c.on_vote_v(SiteId(2), false, Version(0), &cat);
         assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
         assert!(matches!(
             actions[1],
@@ -758,11 +817,11 @@ mod tests {
     fn branch_ack_timeout_below_quorum_keeps_waiting() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        c.on_pc_ack(SiteId(1), &cat);
+        c.on_pc_ack_v(SiteId(1), &cat);
         assert!(
-            c.on_ack_timer(&cat).is_empty(),
+            c.on_ack_timer_v(&cat).is_empty(),
             "a branch below quorum must not hand off to in-shard termination"
         );
         assert_eq!(c.phase(), CoordPhase::Preparing);
@@ -772,12 +831,12 @@ mod tests {
     fn x_decide_terminates_a_held_branch() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit2), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        c.on_pc_ack(SiteId(1), &cat);
-        c.on_pc_ack(SiteId(2), &cat);
+        c.on_pc_ack_v(SiteId(1), &cat);
+        c.on_pc_ack_v(SiteId(2), &cat);
         assert_eq!(c.phase(), CoordPhase::Held);
-        let actions = c.on_x_decide(Decision::Commit, Some(Version(1)));
+        let actions = c.on_x_decide_v(Decision::Commit, Some(Version(1)));
         assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
         assert!(matches!(
             actions[1],
@@ -785,16 +844,18 @@ mod tests {
         ));
         assert_eq!(c.phase(), CoordPhase::Decided(Decision::Commit));
         // Idempotent once decided.
-        assert!(c.on_x_decide(Decision::Commit, Some(Version(1))).is_empty());
+        assert!(c
+            .on_x_decide_v(Decision::Commit, Some(Version(1)))
+            .is_empty());
     }
 
     #[test]
     fn x_decide_abort_terminates_a_preparing_branch() {
         let cat = catalog();
         let mut c = Coordinator::new(branch_spec(ProtocolKind::QuorumCommit1), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
-        let actions = c.on_x_decide(Decision::Abort, None);
+        let actions = c.on_x_decide_v(Decision::Abort, None);
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Abort { .. })
@@ -806,12 +867,12 @@ mod tests {
     fn stale_ack_timer_after_decision_is_noop() {
         let cat = catalog();
         let mut c = Coordinator::new(spec(ProtocolKind::ThreePhase), None);
-        c.start();
+        c.start_v();
         all_yes(&mut c, &cat, 8);
         for s in 1..=8u32 {
-            c.on_pc_ack(SiteId(s), &cat);
+            c.on_pc_ack_v(SiteId(s), &cat);
         }
-        assert!(c.on_ack_timer(&cat).is_empty());
-        assert!(c.on_vote_timer().is_empty());
+        assert!(c.on_ack_timer_v(&cat).is_empty());
+        assert!(c.on_vote_timer_v().is_empty());
     }
 }

@@ -167,28 +167,39 @@ impl Participant {
     /// `local_max_version` is the highest version among this site's
     /// copies of the transaction's writeset items (reported in the yes
     /// vote; the coordinator derives the commit version from these).
-    pub fn on_msg(&mut self, _from: SiteId, msg: &Msg, local_max_version: Version) -> Vec<Action> {
+    /// Actions are appended to the caller's scratch buffer (as
+    /// everywhere on this engine: no per-event allocation in steady
+    /// state).
+    pub fn on_msg(
+        &mut self,
+        _from: SiteId,
+        msg: &Msg,
+        local_max_version: Version,
+        out: &mut Vec<Action>,
+    ) {
         match msg {
-            Msg::VoteReq { spec } => self.on_vote_req(spec, local_max_version),
-            Msg::PrepareCommit { commit_version, .. } => self.on_prepare_commit(*commit_version),
-            Msg::PrepareAbort { .. } => self.on_prepare_abort(),
-            Msg::Commit { commit_version, .. } => self.on_commit(*commit_version),
-            Msg::Abort { .. } => self.on_abort(),
+            Msg::VoteReq { spec } => self.on_vote_req(spec, local_max_version, out),
+            Msg::PrepareCommit { commit_version, .. } => {
+                self.on_prepare_commit(*commit_version, out)
+            }
+            Msg::PrepareAbort { .. } => self.on_prepare_abort(out),
+            Msg::Commit { commit_version, .. } => self.on_commit(*commit_version, out),
+            Msg::Abort { .. } => self.on_abort(out),
             Msg::Decided {
                 decision,
                 commit_version,
                 ..
             } => match decision {
                 Decision::Commit => match commit_version {
-                    Some(v) => self.on_commit(*v),
-                    None => vec![Action::ViolationNote {
+                    Some(v) => self.on_commit(*v, out),
+                    None => out.push(Action::ViolationNote {
                         txn: self.txn,
                         note: "Decided(Commit) without version",
-                    }],
+                    }),
                 },
-                Decision::Abort => self.on_abort(),
+                Decision::Abort => self.on_abort(out),
             },
-            Msg::StateReq { round, spec } => self.on_state_req(*round, spec),
+            Msg::StateReq { round, spec } => self.on_state_req(*round, spec, out),
             // Coordinator/termination/cross-shard/acceptor-role messages
             // are not ours.
             Msg::Vote { .. }
@@ -202,51 +213,52 @@ impl Participant {
             | Msg::PaxosP1a { .. }
             | Msg::PaxosP1b { .. }
             | Msg::PaxosP2a { .. }
-            | Msg::PaxosP2b { .. } => Vec::new(),
+            | Msg::PaxosP2b { .. } => {}
         }
     }
 
-    fn on_vote_req(&mut self, spec: &Arc<TxnSpec>, local_max_version: Version) -> Vec<Action> {
+    fn on_vote_req(
+        &mut self,
+        spec: &Arc<TxnSpec>,
+        local_max_version: Version,
+        out: &mut Vec<Action>,
+    ) {
         match self.state {
             LocalState::Initial => {
                 if self.cfg.vote_yes {
                     self.spec = Some(Arc::clone(spec));
                     self.set_state(LocalState::Wait);
-                    vec![
-                        Action::Log(LogRecord::Voted {
-                            spec: Arc::clone(spec),
-                        }),
-                        Action::Reply(Msg::Vote {
-                            txn: self.txn,
-                            yes: true,
-                            max_version: local_max_version,
-                        }),
-                    ]
+                    out.push(Action::Log(LogRecord::Voted {
+                        spec: Arc::clone(spec),
+                    }));
+                    out.push(Action::Reply(Msg::Vote {
+                        txn: self.txn,
+                        yes: true,
+                        max_version: local_max_version,
+                    }));
                 } else {
                     self.set_state(LocalState::Aborted);
-                    vec![
-                        Action::Log(LogRecord::VotedNo { txn: self.txn }),
-                        Action::Reply(Msg::Vote {
-                            txn: self.txn,
-                            yes: false,
-                            max_version: local_max_version,
-                        }),
-                        Action::ApplyAndDecide {
-                            decision: Decision::Abort,
-                            commit_version: None,
-                        },
-                    ]
+                    out.push(Action::Log(LogRecord::VotedNo { txn: self.txn }));
+                    out.push(Action::Reply(Msg::Vote {
+                        txn: self.txn,
+                        yes: false,
+                        max_version: local_max_version,
+                    }));
+                    out.push(Action::ApplyAndDecide {
+                        decision: Decision::Abort,
+                        commit_version: None,
+                    });
                 }
             }
             // Duplicate VOTE-REQ (retransmission): re-reply idempotently.
             LocalState::Wait | LocalState::PreCommit | LocalState::PreAbort => {
-                vec![Action::Reply(Msg::Vote {
+                out.push(Action::Reply(Msg::Vote {
                     txn: self.txn,
                     yes: true,
                     max_version: local_max_version,
-                })]
+                }));
             }
-            LocalState::Committed | LocalState::Aborted => vec![self.reply_decided()],
+            LocalState::Committed | LocalState::Aborted => out.push(self.reply_decided()),
         }
     }
 
@@ -258,138 +270,126 @@ impl Participant {
         })
     }
 
-    fn on_prepare_commit(&mut self, commit_version: Version) -> Vec<Action> {
+    fn on_prepare_commit(&mut self, commit_version: Version, out: &mut Vec<Action>) {
         match self.state {
             LocalState::Wait => {
                 self.commit_version = Some(commit_version);
                 self.set_state(LocalState::PreCommit);
-                vec![
-                    Action::Log(LogRecord::PreCommit {
-                        txn: self.txn,
-                        commit_version,
-                    }),
-                    Action::Reply(Msg::PcAck { txn: self.txn }),
-                ]
+                out.push(Action::Log(LogRecord::PreCommit {
+                    txn: self.txn,
+                    commit_version,
+                }));
+                out.push(Action::Reply(Msg::PcAck { txn: self.txn }));
             }
             // Already in PC: idempotent re-ack (supports several
             // termination coordinators, Example 3's legal half).
-            LocalState::PreCommit => vec![Action::Reply(Msg::PcAck { txn: self.txn })],
+            LocalState::PreCommit => out.push(Action::Reply(Msg::PcAck { txn: self.txn })),
             LocalState::PreAbort => match self.cfg.faulty {
                 // The Fig. 6 rule: a PA site must ignore PREPARE-TO-COMMIT.
-                FaultyMode::Correct => Vec::new(),
+                FaultyMode::Correct => {}
                 FaultyMode::AnswerAcrossWall => {
                     // The Example 3 bug: PA answers and moves to PC.
                     self.commit_version = Some(commit_version);
                     self.set_state(LocalState::PreCommit);
-                    vec![
-                        Action::Log(LogRecord::PreCommit {
-                            txn: self.txn,
-                            commit_version,
-                        }),
-                        Action::Reply(Msg::PcAck { txn: self.txn }),
-                    ]
+                    out.push(Action::Log(LogRecord::PreCommit {
+                        txn: self.txn,
+                        commit_version,
+                    }));
+                    out.push(Action::Reply(Msg::PcAck { txn: self.txn }));
                 }
             },
             // A prepare must never precede the vote.
-            LocalState::Initial => Vec::new(),
-            LocalState::Committed | LocalState::Aborted => vec![self.reply_decided()],
+            LocalState::Initial => {}
+            LocalState::Committed | LocalState::Aborted => out.push(self.reply_decided()),
         }
     }
 
-    fn on_prepare_abort(&mut self) -> Vec<Action> {
+    fn on_prepare_abort(&mut self, out: &mut Vec<Action>) {
         match self.state {
             LocalState::Wait => {
                 self.set_state(LocalState::PreAbort);
-                vec![
-                    Action::Log(LogRecord::PreAbort { txn: self.txn }),
-                    Action::Reply(Msg::PaAck { txn: self.txn }),
-                ]
+                out.push(Action::Log(LogRecord::PreAbort { txn: self.txn }));
+                out.push(Action::Reply(Msg::PaAck { txn: self.txn }));
             }
-            LocalState::PreAbort => vec![Action::Reply(Msg::PaAck { txn: self.txn })],
+            LocalState::PreAbort => out.push(Action::Reply(Msg::PaAck { txn: self.txn })),
             LocalState::PreCommit => match self.cfg.faulty {
-                FaultyMode::Correct => Vec::new(),
+                FaultyMode::Correct => {}
                 FaultyMode::AnswerAcrossWall => {
                     self.set_state(LocalState::PreAbort);
-                    vec![
-                        Action::Log(LogRecord::PreAbort { txn: self.txn }),
-                        Action::Reply(Msg::PaAck { txn: self.txn }),
-                    ]
+                    out.push(Action::Log(LogRecord::PreAbort { txn: self.txn }));
+                    out.push(Action::Reply(Msg::PaAck { txn: self.txn }));
                 }
             },
-            LocalState::Initial => Vec::new(),
-            LocalState::Committed | LocalState::Aborted => vec![self.reply_decided()],
+            LocalState::Initial => {}
+            LocalState::Committed | LocalState::Aborted => out.push(self.reply_decided()),
         }
     }
 
-    fn on_commit(&mut self, commit_version: Version) -> Vec<Action> {
+    fn on_commit(&mut self, commit_version: Version, out: &mut Vec<Action>) {
         match self.state {
-            LocalState::Committed => Vec::new(),
+            LocalState::Committed => {}
             LocalState::Aborted => {
                 // Irrevocable: keep the abort; flag the impossible event.
                 self.conflicting_command = true;
-                vec![Action::ViolationNote {
+                out.push(Action::ViolationNote {
                     txn: self.txn,
                     note: "COMMIT command arrived at an aborted participant",
-                }]
+                });
             }
             LocalState::Initial => {
                 // Provably unreachable in the paper's protocols (a PC
                 // state, prerequisite for commit, implies all voted).
                 // Defensive: we cannot apply updates we never received.
-                vec![Action::ViolationNote {
+                out.push(Action::ViolationNote {
                     txn: self.txn,
                     note: "COMMIT command arrived at a participant in q",
-                }]
+                });
             }
             LocalState::Wait | LocalState::PreCommit | LocalState::PreAbort => {
                 self.commit_version = Some(commit_version);
                 self.set_state(LocalState::Committed);
-                vec![
-                    Action::Log(LogRecord::Decided {
-                        txn: self.txn,
-                        decision: Decision::Commit,
-                        commit_version: Some(commit_version),
-                    }),
-                    Action::ApplyAndDecide {
-                        decision: Decision::Commit,
-                        commit_version: Some(commit_version),
-                    },
-                ]
+                out.push(Action::Log(LogRecord::Decided {
+                    txn: self.txn,
+                    decision: Decision::Commit,
+                    commit_version: Some(commit_version),
+                }));
+                out.push(Action::ApplyAndDecide {
+                    decision: Decision::Commit,
+                    commit_version: Some(commit_version),
+                });
             }
         }
     }
 
-    fn on_abort(&mut self) -> Vec<Action> {
+    fn on_abort(&mut self, out: &mut Vec<Action>) {
         match self.state {
-            LocalState::Aborted => Vec::new(),
+            LocalState::Aborted => {}
             LocalState::Committed => {
                 self.conflicting_command = true;
-                vec![Action::ViolationNote {
+                out.push(Action::ViolationNote {
                     txn: self.txn,
                     note: "ABORT command arrived at a committed participant",
-                }]
+                });
             }
             LocalState::Initial
             | LocalState::Wait
             | LocalState::PreCommit
             | LocalState::PreAbort => {
                 self.set_state(LocalState::Aborted);
-                vec![
-                    Action::Log(LogRecord::Decided {
-                        txn: self.txn,
-                        decision: Decision::Abort,
-                        commit_version: None,
-                    }),
-                    Action::ApplyAndDecide {
-                        decision: Decision::Abort,
-                        commit_version: None,
-                    },
-                ]
+                out.push(Action::Log(LogRecord::Decided {
+                    txn: self.txn,
+                    decision: Decision::Abort,
+                    commit_version: None,
+                }));
+                out.push(Action::ApplyAndDecide {
+                    decision: Decision::Abort,
+                    commit_version: None,
+                });
             }
         }
     }
 
-    fn on_state_req(&mut self, round: u64, spec: &Arc<TxnSpec>) -> Vec<Action> {
+    fn on_state_req(&mut self, round: u64, spec: &Arc<TxnSpec>, out: &mut Vec<Action>) {
         // A site that never saw VOTE-REQ learns the spec here, so it can
         // serve as a termination coordinator if elected.
         if self.spec.is_none() {
@@ -397,8 +397,8 @@ impl Participant {
         }
         // An unvoted site answering a termination STATE-REQ casts a
         // veto, and the veto must be irrevocable *before* it is spoken.
-        let mut actions = self.veto_abort();
-        actions.push(Action::Reply(Msg::StateRep {
+        self.veto_abort(out);
+        out.push(Action::Reply(Msg::StateRep {
             txn: self.txn,
             round,
             state: self.state,
@@ -408,7 +408,6 @@ impl Participant {
                 None
             },
         }));
-        actions
     }
 
     /// The unvoted-site veto, made durable and irrevocable: a
@@ -422,28 +421,46 @@ impl Participant {
     /// Logging `VotedNo` before the reply leaves closes the crash
     /// window too (a recovered site replays the no-vote instead of
     /// forgetting it ever vetoed). No-op in any other state.
-    pub fn veto_abort(&mut self) -> Vec<Action> {
+    pub fn veto_abort(&mut self, out: &mut Vec<Action>) {
         if self.state != LocalState::Initial {
-            return Vec::new();
+            return;
         }
         self.set_state(LocalState::Aborted);
-        vec![
-            Action::Log(LogRecord::VotedNo { txn: self.txn }),
-            Action::ApplyAndDecide {
-                decision: Decision::Abort,
-                commit_version: None,
-            },
-        ]
+        out.push(Action::Log(LogRecord::VotedNo { txn: self.txn }));
+        out.push(Action::ApplyAndDecide {
+            decision: Decision::Abort,
+            commit_version: None,
+        });
     }
 
     /// The coordinator has been silent for `3T` after our last message to
     /// it (Fig. 5 participant event 6): request the termination protocol.
-    pub fn on_coordinator_silent(&mut self) -> Vec<Action> {
-        if self.state.is_terminal() || self.state == LocalState::Initial {
-            Vec::new()
-        } else {
-            vec![Action::RequestTermination { txn: self.txn }]
+    pub fn on_coordinator_silent(&mut self, out: &mut Vec<Action>) {
+        if !(self.state.is_terminal() || self.state == LocalState::Initial) {
+            out.push(Action::RequestTermination { txn: self.txn });
         }
+    }
+}
+
+/// Collecting wrappers for unit tests: same engine calls, fresh buffer
+/// per call (production code passes a reused scratch buffer instead).
+#[cfg(test)]
+impl Participant {
+    pub(crate) fn on_msg_v(
+        &mut self,
+        from: SiteId,
+        msg: &Msg,
+        local_max_version: Version,
+    ) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_msg(from, msg, local_max_version, &mut v);
+        v
+    }
+
+    fn on_coordinator_silent_v(&mut self) -> Vec<Action> {
+        let mut v = Vec::new();
+        self.on_coordinator_silent(&mut v);
+        v
     }
 }
 
@@ -500,7 +517,7 @@ mod tests {
     #[test]
     fn yes_vote_logs_before_replying() {
         let mut p = fresh();
-        let out = p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(3));
+        let out = p.on_msg_v(coordinator(), &Msg::VoteReq { spec: spec() }, Version(3));
         assert!(matches!(out[0], Action::Log(LogRecord::Voted { .. })));
         assert!(matches!(
             out[1],
@@ -523,7 +540,7 @@ mod tests {
                 faulty: FaultyMode::Correct,
             },
         );
-        let out = p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
+        let out = p.on_msg_v(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
         assert_eq!(p.state(), LocalState::Aborted);
         assert!(out
             .iter()
@@ -538,7 +555,7 @@ mod tests {
     }
 
     fn to_wait(p: &mut Participant) {
-        p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
+        p.on_msg_v(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
         assert_eq!(p.state(), LocalState::Wait);
     }
 
@@ -546,7 +563,7 @@ mod tests {
     fn prepare_commit_moves_w_to_pc() {
         let mut p = fresh();
         to_wait(&mut p);
-        let out = p.on_msg(
+        let out = p.on_msg_v(
             coordinator(),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -564,7 +581,7 @@ mod tests {
     fn pc_ignores_prepare_abort_the_fig6_rule() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(
+        p.on_msg_v(
             coordinator(),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -572,7 +589,7 @@ mod tests {
             },
             Version(0),
         );
-        let out = p.on_msg(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
+        let out = p.on_msg_v(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
         assert!(out.is_empty(), "PC must ignore PREPARE-TO-ABORT");
         assert_eq!(p.state(), LocalState::PreCommit);
         assert!(p.transitions().iter().all(Transition::is_legal));
@@ -582,9 +599,9 @@ mod tests {
     fn pa_ignores_prepare_commit_the_fig6_rule() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
+        p.on_msg_v(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
         assert_eq!(p.state(), LocalState::PreAbort);
-        let out = p.on_msg(
+        let out = p.on_msg_v(
             SiteId(3),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -607,9 +624,9 @@ mod tests {
             },
         );
         to_wait(&mut p);
-        p.on_msg(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
+        p.on_msg_v(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
         assert_eq!(p.state(), LocalState::PreAbort);
-        let out = p.on_msg(
+        let out = p.on_msg_v(
             SiteId(3),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -632,7 +649,7 @@ mod tests {
         let mut p = fresh();
         to_wait(&mut p);
         for _ in 0..2 {
-            let out = p.on_msg(
+            let out = p.on_msg_v(
                 coordinator(),
                 &Msg::PrepareCommit {
                     txn: TxnId(1),
@@ -658,8 +675,8 @@ mod tests {
     fn commit_command_from_pa_is_obeyed() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
-        let out = p.on_msg(
+        p.on_msg_v(SiteId(2), &Msg::PrepareAbort { txn: TxnId(1) }, Version(0));
+        let out = p.on_msg_v(
             SiteId(3),
             &Msg::Commit {
                 txn: TxnId(1),
@@ -682,7 +699,7 @@ mod tests {
     fn abort_command_from_pc_is_obeyed() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(
+        p.on_msg_v(
             coordinator(),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -690,7 +707,7 @@ mod tests {
             },
             Version(0),
         );
-        p.on_msg(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
+        p.on_msg_v(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
         assert_eq!(p.state(), LocalState::Aborted);
         assert!(p.transitions().iter().all(Transition::is_legal));
     }
@@ -699,8 +716,8 @@ mod tests {
     fn terminated_participant_reannounces_decision() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
-        let out = p.on_msg(
+        p.on_msg_v(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
+        let out = p.on_msg_v(
             SiteId(3),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -721,8 +738,8 @@ mod tests {
     fn conflicting_command_is_flagged_not_obeyed() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
-        let out = p.on_msg(
+        p.on_msg_v(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
+        let out = p.on_msg_v(
             SiteId(3),
             &Msg::Commit {
                 txn: TxnId(1),
@@ -739,7 +756,7 @@ mod tests {
     fn state_req_teaches_spec_and_vetoes_an_unvoted_site() {
         let mut p = fresh();
         assert!(p.spec().is_none());
-        let out = p.on_msg(
+        let out = p.on_msg_v(
             SiteId(2),
             &Msg::StateReq {
                 round: 1,
@@ -770,7 +787,7 @@ mod tests {
         ));
         assert_eq!(p.state(), LocalState::Aborted);
         // A late VOTE-REQ now draws the decided-abort reply, not a yes.
-        let out = p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
+        let out = p.on_msg_v(coordinator(), &Msg::VoteReq { spec: spec() }, Version(0));
         assert!(matches!(
             out[0],
             Action::Reply(Msg::Decided {
@@ -784,7 +801,7 @@ mod tests {
     fn state_rep_from_pc_carries_version() {
         let mut p = fresh();
         to_wait(&mut p);
-        p.on_msg(
+        p.on_msg_v(
             coordinator(),
             &Msg::PrepareCommit {
                 txn: TxnId(1),
@@ -792,7 +809,7 @@ mod tests {
             },
             Version(0),
         );
-        let out = p.on_msg(
+        let out = p.on_msg_v(
             SiteId(2),
             &Msg::StateReq {
                 round: 2,
@@ -813,12 +830,15 @@ mod tests {
     #[test]
     fn watchdog_requests_termination_only_when_undecided() {
         let mut p = fresh();
-        assert!(p.on_coordinator_silent().is_empty(), "q site stays quiet");
+        assert!(p.on_coordinator_silent_v().is_empty(), "q site stays quiet");
         to_wait(&mut p);
-        let out = p.on_coordinator_silent();
+        let out = p.on_coordinator_silent_v();
         assert!(matches!(out[0], Action::RequestTermination { .. }));
-        p.on_msg(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
-        assert!(p.on_coordinator_silent().is_empty(), "terminal stays quiet");
+        p.on_msg_v(SiteId(2), &Msg::Abort { txn: TxnId(1) }, Version(0));
+        assert!(
+            p.on_coordinator_silent_v().is_empty(),
+            "terminal stays quiet"
+        );
     }
 
     #[test]
@@ -837,7 +857,7 @@ mod tests {
     fn duplicate_vote_req_is_idempotent() {
         let mut p = fresh();
         to_wait(&mut p);
-        let out = p.on_msg(coordinator(), &Msg::VoteReq { spec: spec() }, Version(2));
+        let out = p.on_msg_v(coordinator(), &Msg::VoteReq { spec: spec() }, Version(2));
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Action::Reply(Msg::Vote { yes: true, .. })));
         assert_eq!(p.state(), LocalState::Wait);

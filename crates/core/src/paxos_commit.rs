@@ -162,55 +162,69 @@ impl PaxosLeader {
     }
 
     /// Kicks off ballot 0 (vote solicitation) or a recovery ballot
-    /// (Phase 1a).
-    pub fn start(&mut self) -> Vec<Action> {
+    /// (Phase 1a). Actions are appended to the caller's scratch buffer
+    /// (as everywhere on this engine: no per-event allocation in steady
+    /// state).
+    pub fn start(&mut self, out: &mut Vec<Action>) {
         match self.phase {
-            PaxosPhase::SolicitingVotes => vec![
-                Action::Log(LogRecord::CoordinatorStart {
+            PaxosPhase::SolicitingVotes => {
+                out.push(Action::Log(LogRecord::CoordinatorStart {
                     spec: Arc::clone(&self.spec),
-                }),
-                Action::Broadcast(
+                }));
+                out.push(Action::Broadcast(
                     self.everyone(),
                     Msg::VoteReq {
                         spec: Arc::clone(&self.spec),
                     },
-                ),
-                Action::SetTimer(TimerKind::VoteCollection { txn: self.spec.id }),
-            ],
-            PaxosPhase::Recovering => vec![
-                Action::Broadcast(
+                ));
+                out.push(Action::SetTimer(TimerKind::VoteCollection {
+                    txn: self.spec.id,
+                }));
+            }
+            PaxosPhase::Recovering => {
+                out.push(Action::Broadcast(
                     self.everyone(),
                     Msg::PaxosP1a {
                         txn: self.spec.id,
                         bal: self.bal,
                         spec: Arc::clone(&self.spec),
                     },
-                ),
-                Action::SetTimer(TimerKind::Paxos1bCollection {
+                ));
+                out.push(Action::SetTimer(TimerKind::Paxos1bCollection {
                     txn: self.spec.id,
                     bal: self.bal,
-                }),
-            ],
-            _ => Vec::new(),
+                }));
+            }
+            _ => {}
         }
     }
 
     /// Handles a participant vote (ballot-0 leaders only).
-    pub fn on_vote(&mut self, from: SiteId, yes: bool, max_version: Version) -> Vec<Action> {
+    pub fn on_vote(
+        &mut self,
+        from: SiteId,
+        yes: bool,
+        max_version: Version,
+        out: &mut Vec<Action>,
+    ) {
         match self.phase {
             PaxosPhase::SolicitingVotes => {}
-            PaxosPhase::Decided(d) => return vec![self.decision_reply(d)],
-            _ => return Vec::new(),
+            PaxosPhase::Decided(d) => {
+                out.push(self.decision_reply(d));
+                return;
+            }
+            _ => return,
         }
         if !self.spec.participants.contains(&from) {
-            return Vec::new();
+            return;
         }
         self.votes.insert(from, (yes, max_version));
         if !yes {
             // Presumed abort: no 2a has left this site, so no recovery
             // candidate can ever choose *prepared* — aborting without a
             // Paxos round is safe (a branch reports the no upward too).
-            return self.abort_unilaterally();
+            self.abort_unilaterally(out);
+            return;
         }
         if self.votes.len() == self.spec.participants.len() {
             if self.spec.is_branch() {
@@ -219,16 +233,15 @@ impl PaxosLeader {
                 // parent instead of starting Paxos rounds.
                 let v = self.max_reported().next();
                 self.commit_version = Some(v);
-                return self.hold_and_vote_yes();
+                self.hold_and_vote_yes(out);
+                return;
             }
             let batch: PaxosVotes = self
                 .votes
                 .iter()
                 .map(|(&s, &(yes, v))| (s, yes, v))
                 .collect();
-            self.propose(batch)
-        } else {
-            Vec::new()
+            self.propose(batch, out);
         }
     }
 
@@ -241,24 +254,22 @@ impl PaxosLeader {
     }
 
     /// Broadcasts the Phase-2a batch at this engine's ballot.
-    fn propose(&mut self, batch: PaxosVotes) -> Vec<Action> {
+    fn propose(&mut self, batch: PaxosVotes, out: &mut Vec<Action>) {
         self.phase = PaxosPhase::Proposing;
         self.twobs.clear();
         self.proposal = Some(batch.clone());
-        vec![
-            Action::Broadcast(
-                self.everyone(),
-                Msg::PaxosP2a {
-                    txn: self.spec.id,
-                    bal: self.bal,
-                    votes: batch,
-                },
-            ),
-            Action::SetTimer(TimerKind::Paxos2bCollection {
+        out.push(Action::Broadcast(
+            self.everyone(),
+            Msg::PaxosP2a {
                 txn: self.spec.id,
                 bal: self.bal,
-            }),
-        ]
+                votes: batch,
+            },
+        ));
+        out.push(Action::SetTimer(TimerKind::Paxos2bCollection {
+            txn: self.spec.id,
+            bal: self.bal,
+        }));
     }
 
     /// Handles a Phase-1b promise (recovery candidates only).
@@ -267,18 +278,22 @@ impl PaxosLeader {
         from: SiteId,
         bal: u64,
         accepted: &[(SiteId, u64, bool, Version)],
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         match self.phase {
             PaxosPhase::Recovering => {}
-            PaxosPhase::Decided(d) => return vec![self.decision_reply(d)],
-            _ => return Vec::new(),
+            PaxosPhase::Decided(d) => {
+                out.push(self.decision_reply(d));
+                return;
+            }
+            _ => return,
         }
         if bal != self.bal || !self.spec.participants.contains(&from) {
-            return Vec::new();
+            return;
         }
         self.onebs.insert(from, accepted.to_vec());
         if self.onebs.len() < self.majority() {
-            return Vec::new();
+            return;
         }
         // A promise quorum is in: per instance, adopt the value with
         // the highest accepted ballot any reporter carries; an instance
@@ -302,22 +317,25 @@ impl PaxosLeader {
                 }
             })
             .collect();
-        self.propose(batch)
+        self.propose(batch, out);
     }
 
     /// Handles a Phase-2b acceptance echo.
-    pub fn on_p2b(&mut self, from: SiteId, bal: u64) -> Vec<Action> {
+    pub fn on_p2b(&mut self, from: SiteId, bal: u64, out: &mut Vec<Action>) {
         match self.phase {
             PaxosPhase::Proposing => {}
-            PaxosPhase::Decided(d) => return vec![self.decision_reply(d)],
-            _ => return Vec::new(),
+            PaxosPhase::Decided(d) => {
+                out.push(self.decision_reply(d));
+                return;
+            }
+            _ => return,
         }
         if bal != self.bal || !self.spec.participants.contains(&from) {
-            return Vec::new();
+            return;
         }
         self.twobs.insert(from);
         if self.twobs.len() < self.majority() {
-            return Vec::new();
+            return;
         }
         // Chosen: the proposed batch is durable at F+1 acceptors.
         // Commit exactly when every instance chose *prepared*.
@@ -330,64 +348,60 @@ impl PaxosLeader {
                 .unwrap_or(Version::INITIAL)
                 .next();
             self.commit_version = Some(v);
-            self.decide(Decision::Commit)
+            self.decide(Decision::Commit, out);
         } else {
-            self.decide(Decision::Abort)
+            self.decide(Decision::Abort, out);
         }
     }
 
     /// Vote-collection window expired (ballot-0 leaders only): missing
     /// votes are presumed aborts — safe for the same reason a no vote
     /// is (no 2a out yet).
-    pub fn on_vote_timer(&mut self) -> Vec<Action> {
+    pub fn on_vote_timer(&mut self, out: &mut Vec<Action>) {
         if self.phase != PaxosPhase::SolicitingVotes {
-            return Vec::new();
+            return;
         }
-        self.abort_unilaterally()
+        self.abort_unilaterally(out);
     }
 
     /// Phase-1b collection window expired: re-broadcast the 1a (lost
     /// promises; the acceptors re-answer idempotently).
-    pub fn on_1b_timer(&mut self, bal: u64) -> Vec<Action> {
+    pub fn on_1b_timer(&mut self, bal: u64, out: &mut Vec<Action>) {
         if self.phase != PaxosPhase::Recovering || bal != self.bal {
-            return Vec::new();
+            return;
         }
-        vec![
-            Action::Broadcast(
-                self.everyone(),
-                Msg::PaxosP1a {
-                    txn: self.spec.id,
-                    bal: self.bal,
-                    spec: Arc::clone(&self.spec),
-                },
-            ),
-            Action::SetTimer(TimerKind::Paxos1bCollection {
+        out.push(Action::Broadcast(
+            self.everyone(),
+            Msg::PaxosP1a {
                 txn: self.spec.id,
                 bal: self.bal,
-            }),
-        ]
+                spec: Arc::clone(&self.spec),
+            },
+        ));
+        out.push(Action::SetTimer(TimerKind::Paxos1bCollection {
+            txn: self.spec.id,
+            bal: self.bal,
+        }));
     }
 
     /// Phase-2b collection window expired: re-broadcast the 2a.
-    pub fn on_2b_timer(&mut self, bal: u64) -> Vec<Action> {
+    pub fn on_2b_timer(&mut self, bal: u64, out: &mut Vec<Action>) {
         if self.phase != PaxosPhase::Proposing || bal != self.bal {
-            return Vec::new();
+            return;
         }
         let batch = self.proposal.clone().expect("proposing implies batch");
-        vec![
-            Action::Broadcast(
-                self.everyone(),
-                Msg::PaxosP2a {
-                    txn: self.spec.id,
-                    bal: self.bal,
-                    votes: batch,
-                },
-            ),
-            Action::SetTimer(TimerKind::Paxos2bCollection {
+        out.push(Action::Broadcast(
+            self.everyone(),
+            Msg::PaxosP2a {
                 txn: self.spec.id,
                 bal: self.bal,
-            }),
-        ]
+                votes: batch,
+            },
+        ));
+        out.push(Action::SetTimer(TimerKind::Paxos2bCollection {
+            txn: self.spec.id,
+            bal: self.bal,
+        }));
     }
 
     /// The cross-shard decision arrived (branches only).
@@ -395,15 +409,16 @@ impl PaxosLeader {
         &mut self,
         decision: Decision,
         commit_version: Option<Version>,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         debug_assert!(self.spec.is_branch(), "X-DECIDE at a non-branch engine");
         match self.phase {
-            PaxosPhase::Decided(_) => Vec::new(),
+            PaxosPhase::Decided(_) => {}
             _ => {
                 if decision == Decision::Commit && commit_version.is_some() {
                     self.commit_version = commit_version;
                 }
-                self.decide(decision)
+                self.decide(decision, out);
             }
         }
     }
@@ -421,23 +436,23 @@ impl PaxosLeader {
         self.phase = PaxosPhase::Decided(decision);
     }
 
-    fn hold_and_vote_yes(&mut self) -> Vec<Action> {
+    fn hold_and_vote_yes(&mut self, out: &mut Vec<Action>) {
         let parent = self.spec.parent.expect("held only for branches");
         self.phase = PaxosPhase::Held;
-        vec![Action::Send(
+        out.push(Action::Send(
             parent,
             Msg::XVote {
                 txn: self.spec.id,
                 yes: true,
                 commit_version: self.commit_version,
             },
-        )]
+        ));
     }
 
-    fn abort_unilaterally(&mut self) -> Vec<Action> {
-        let mut actions = self.decide(Decision::Abort);
+    fn abort_unilaterally(&mut self, out: &mut Vec<Action>) {
+        self.decide(Decision::Abort, out);
         if let Some(parent) = self.spec.parent {
-            actions.push(Action::Send(
+            out.push(Action::Send(
                 parent,
                 Msg::XVote {
                     txn: self.spec.id,
@@ -446,7 +461,6 @@ impl PaxosLeader {
                 },
             ));
         }
-        actions
     }
 
     fn decision_reply(&self, d: Decision) -> Action {
@@ -460,35 +474,91 @@ impl PaxosLeader {
     }
 
     /// Force-log the decision, then command every participant.
-    fn decide(&mut self, decision: Decision) -> Vec<Action> {
+    fn decide(&mut self, decision: Decision, out: &mut Vec<Action>) {
         self.phase = PaxosPhase::Decided(decision);
         match decision {
             Decision::Commit => {
                 let v = self.commit_version.expect("commit implies version");
-                vec![
-                    Action::Log(LogRecord::Decided {
+                out.push(Action::Log(LogRecord::Decided {
+                    txn: self.spec.id,
+                    decision,
+                    commit_version: Some(v),
+                }));
+                out.push(Action::Broadcast(
+                    self.everyone(),
+                    Msg::Commit {
                         txn: self.spec.id,
-                        decision,
-                        commit_version: Some(v),
-                    }),
-                    Action::Broadcast(
-                        self.everyone(),
-                        Msg::Commit {
-                            txn: self.spec.id,
-                            commit_version: v,
-                        },
-                    ),
-                ]
+                        commit_version: v,
+                    },
+                ));
             }
-            Decision::Abort => vec![
-                Action::Log(LogRecord::Decided {
+            Decision::Abort => {
+                out.push(Action::Log(LogRecord::Decided {
                     txn: self.spec.id,
                     decision,
                     commit_version: None,
-                }),
-                Action::Broadcast(self.everyone(), Msg::Abort { txn: self.spec.id }),
-            ],
+                }));
+                out.push(Action::Broadcast(
+                    self.everyone(),
+                    Msg::Abort { txn: self.spec.id },
+                ));
+            }
         }
+    }
+}
+
+/// Vec-returning wrappers so protocol unit tests keep their original
+/// collect-and-assert shape without threading scratch buffers through.
+#[cfg(test)]
+impl PaxosLeader {
+    fn start_v(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.start(&mut out);
+        out
+    }
+    fn on_vote_v(&mut self, from: SiteId, yes: bool, max_version: Version) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_vote(from, yes, max_version, &mut out);
+        out
+    }
+    fn on_p1b_v(
+        &mut self,
+        from: SiteId,
+        bal: u64,
+        accepted: &[(SiteId, u64, bool, Version)],
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_p1b(from, bal, accepted, &mut out);
+        out
+    }
+    fn on_p2b_v(&mut self, from: SiteId, bal: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_p2b(from, bal, &mut out);
+        out
+    }
+    fn on_vote_timer_v(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_vote_timer(&mut out);
+        out
+    }
+    fn on_1b_timer_v(&mut self, bal: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_1b_timer(bal, &mut out);
+        out
+    }
+    fn on_2b_timer_v(&mut self, bal: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_2b_timer(bal, &mut out);
+        out
+    }
+    fn on_x_decide_v(
+        &mut self,
+        decision: Decision,
+        commit_version: Option<Version>,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_x_decide(decision, commit_version, &mut out);
+        out
     }
 }
 
@@ -518,32 +588,32 @@ impl CommitEngine for PaxosLeader {
         PaxosLeader::txn(self)
     }
 
-    fn start(&mut self) -> Vec<Action> {
-        PaxosLeader::start(self)
+    fn start(&mut self, out: &mut Vec<Action>) {
+        PaxosLeader::start(self, out)
     }
 
-    fn on_msg(&mut self, from: SiteId, msg: &Msg, _ctx: &EngineCtx<'_>) -> Vec<Action> {
+    fn on_msg(&mut self, from: SiteId, msg: &Msg, _ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
         match msg {
             Msg::Vote {
                 yes, max_version, ..
-            } => self.on_vote(from, *yes, *max_version),
-            Msg::PaxosP1b { bal, accepted, .. } => self.on_p1b(from, *bal, accepted),
-            Msg::PaxosP2b { bal, .. } => self.on_p2b(from, *bal),
+            } => self.on_vote(from, *yes, *max_version, out),
+            Msg::PaxosP1b { bal, accepted, .. } => self.on_p1b(from, *bal, accepted, out),
+            Msg::PaxosP2b { bal, .. } => self.on_p2b(from, *bal, out),
             Msg::XDecide {
                 decision,
                 commit_version,
                 ..
-            } => self.on_x_decide(*decision, *commit_version),
-            _ => Vec::new(),
+            } => self.on_x_decide(*decision, *commit_version, out),
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, kind: TimerKind, _ctx: &EngineCtx<'_>) -> Vec<Action> {
+    fn on_timer(&mut self, kind: TimerKind, _ctx: &EngineCtx<'_>, out: &mut Vec<Action>) {
         match kind {
-            TimerKind::VoteCollection { .. } => self.on_vote_timer(),
-            TimerKind::Paxos1bCollection { bal, .. } => self.on_1b_timer(bal),
-            TimerKind::Paxos2bCollection { bal, .. } => self.on_2b_timer(bal),
-            _ => Vec::new(),
+            TimerKind::VoteCollection { .. } => self.on_vote_timer(out),
+            TimerKind::Paxos1bCollection { bal, .. } => self.on_1b_timer(bal, out),
+            TimerKind::Paxos2bCollection { bal, .. } => self.on_2b_timer(bal, out),
+            _ => {}
         }
     }
 
@@ -602,9 +672,9 @@ impl PaxosAcceptor {
     /// Phase 1a: promise `bal` (idempotent re-answer at the promised
     /// ballot, so candidate re-broadcasts stay live), force-logging the
     /// promise before it leaves the site.
-    pub fn on_p1a(&mut self, txn: TxnId, bal: u64) -> Vec<Action> {
+    pub fn on_p1a(&mut self, txn: TxnId, bal: u64, out: &mut Vec<Action>) {
         if bal < self.promised {
-            return Vec::new();
+            return;
         }
         // Only a *raised* promise needs a new force-log: a re-answer at
         // the already-promised ballot is covered by the record written
@@ -616,12 +686,10 @@ impl PaxosAcceptor {
             Some((b, votes)) => votes.iter().map(|&(s, p, v)| (s, *b, p, v)).collect(),
             None => Vec::new(),
         };
-        let mut actions = Vec::new();
         if raised {
-            actions.push(Action::Log(LogRecord::PaxosPromise { txn, bal }));
+            out.push(Action::Log(LogRecord::PaxosPromise { txn, bal }));
         }
-        actions.push(Action::Reply(Msg::PaxosP1b { txn, bal, accepted }));
-        actions
+        out.push(Action::Reply(Msg::PaxosP1b { txn, bal, accepted }));
     }
 
     /// Phase 2a: accept the batch at `bal` unless a higher ballot was
@@ -631,29 +699,43 @@ impl PaxosAcceptor {
         txn: TxnId,
         bal: u64,
         votes: &[(SiteId, bool, Version)],
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         if bal < self.promised {
-            return Vec::new();
+            return;
         }
         self.promised = bal;
         self.accepted = Some((bal, votes.to_vec()));
-        vec![
-            Action::Log(LogRecord::PaxosAccept {
-                txn,
-                bal,
-                votes: votes.to_vec(),
-            }),
-            Action::Reply(Msg::PaxosP2b {
-                txn,
-                bal,
-                votes: votes.to_vec(),
-            }),
-        ]
+        out.push(Action::Log(LogRecord::PaxosAccept {
+            txn,
+            bal,
+            votes: votes.to_vec(),
+        }));
+        out.push(Action::Reply(Msg::PaxosP2b {
+            txn,
+            bal,
+            votes: votes.to_vec(),
+        }));
     }
 
     /// The log record kinds this role force-writes.
     pub fn log_record_kinds() -> &'static [&'static str] {
         &["paxos-promise", "paxos-accept"]
+    }
+}
+
+/// Vec-returning wrappers mirroring the leader's test shims.
+#[cfg(test)]
+impl PaxosAcceptor {
+    fn on_p1a_v(&mut self, txn: TxnId, bal: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_p1a(txn, bal, &mut out);
+        out
+    }
+    fn on_p2a_v(&mut self, txn: TxnId, bal: u64, votes: &[(SiteId, bool, Version)]) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_p2a(txn, bal, votes, &mut out);
+        out
     }
 }
 
@@ -689,7 +771,7 @@ mod tests {
     fn all_yes(l: &mut PaxosLeader) -> Vec<Action> {
         let mut last = Vec::new();
         for s in [S0, S1, S2] {
-            last = l.on_vote(s, true, Version(0));
+            last = l.on_vote_v(s, true, Version(0));
         }
         last
     }
@@ -697,7 +779,7 @@ mod tests {
     #[test]
     fn happy_path_commits_at_acceptor_majority() {
         let mut l = PaxosLeader::new(spec());
-        let start = l.start();
+        let start = l.start_v();
         assert!(matches!(
             start[0],
             Action::Log(LogRecord::CoordinatorStart { .. })
@@ -714,8 +796,8 @@ mod tests {
         ));
         assert_eq!(l.phase(), PaxosPhase::Proposing);
         // One 2b is short of F+1 = 2.
-        assert!(l.on_p2b(S0, 0).is_empty());
-        let actions = l.on_p2b(S1, 0);
+        assert!(l.on_p2b_v(S0, 0).is_empty());
+        let actions = l.on_p2b_v(S1, 0);
         assert!(matches!(
             actions[0],
             Action::Log(LogRecord::Decided {
@@ -734,9 +816,9 @@ mod tests {
     #[test]
     fn any_no_vote_aborts_without_a_paxos_round() {
         let mut l = PaxosLeader::new(spec());
-        l.start();
-        l.on_vote(S0, true, Version(0));
-        let actions = l.on_vote(S1, false, Version(0));
+        l.start_v();
+        l.on_vote_v(S0, true, Version(0));
+        let actions = l.on_vote_v(S1, false, Version(0));
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Abort { .. })
@@ -747,9 +829,9 @@ mod tests {
     #[test]
     fn vote_timeout_presumes_abort() {
         let mut l = PaxosLeader::new(spec());
-        l.start();
-        l.on_vote(S0, true, Version(0));
-        let actions = l.on_vote_timer();
+        l.start_v();
+        l.on_vote_v(S0, true, Version(0));
+        let actions = l.on_vote_timer_v();
         assert!(matches!(
             actions[1],
             Action::Broadcast(_, Msg::Abort { .. })
@@ -759,12 +841,12 @@ mod tests {
     #[test]
     fn commit_version_is_max_reported_plus_one() {
         let mut l = PaxosLeader::new(spec());
-        l.start();
-        l.on_vote(S0, true, Version(4));
-        l.on_vote(S1, true, Version(9));
-        l.on_vote(S2, true, Version(2));
-        l.on_p2b(S1, 0);
-        l.on_p2b(S2, 0);
+        l.start_v();
+        l.on_vote_v(S0, true, Version(4));
+        l.on_vote_v(S1, true, Version(9));
+        l.on_vote_v(S2, true, Version(2));
+        l.on_p2b_v(S1, 0);
+        l.on_p2b_v(S2, 0);
         assert_eq!(l.commit_version(), Some(Version(10)));
     }
 
@@ -772,7 +854,7 @@ mod tests {
     fn acceptor_logs_before_echoing_2b() {
         let mut a = PaxosAcceptor::new();
         let votes = vec![(S0, true, Version(0)), (S1, true, Version(3))];
-        let out = a.on_p2a(TxnId(1), 0, &votes);
+        let out = a.on_p2a_v(TxnId(1), 0, &votes);
         assert!(matches!(out[0], Action::Log(LogRecord::PaxosAccept { .. })));
         assert!(matches!(
             out[1],
@@ -783,13 +865,13 @@ mod tests {
     #[test]
     fn acceptor_rejects_below_promise() {
         let mut a = PaxosAcceptor::new();
-        a.on_p1a(TxnId(1), 5);
-        assert!(a.on_p2a(TxnId(1), 0, &[]).is_empty(), "2a below promise");
-        assert!(a.on_p1a(TxnId(1), 4).is_empty(), "1a below promise");
+        a.on_p1a_v(TxnId(1), 5);
+        assert!(a.on_p2a_v(TxnId(1), 0, &[]).is_empty(), "2a below promise");
+        assert!(a.on_p1a_v(TxnId(1), 4).is_empty(), "1a below promise");
         // Idempotent re-answer at the promised ballot keeps candidate
         // re-broadcasts live — but without a fresh force-log, so a
         // re-broadcast loop cannot grow the WAL.
-        let again = a.on_p1a(TxnId(1), 5);
+        let again = a.on_p1a_v(TxnId(1), 5);
         assert_eq!(again.len(), 1);
         assert!(matches!(
             again[0],
@@ -807,20 +889,20 @@ mod tests {
             (S1, true, Version(0)),
             (S2, true, Version(0)),
         ];
-        acc.on_p2a(TxnId(1), 0, &votes);
+        acc.on_p2a_v(TxnId(1), 0, &votes);
         let mut c = PaxosLeader::recover(spec(), 7);
-        let start = c.start();
+        let start = c.start_v();
         assert!(matches!(
             start[0],
             Action::Broadcast(_, Msg::PaxosP1a { bal: 7, .. })
         ));
         // S1 reports its acceptance; S2 reports nothing.
-        let p1b = acc.on_p1a(TxnId(1), 7);
+        let p1b = acc.on_p1a_v(TxnId(1), 7);
         let Action::Reply(Msg::PaxosP1b { accepted, .. }) = &p1b[1] else {
             panic!("expected 1b reply, got {p1b:?}");
         };
-        assert!(c.on_p1b(S2, 7, &[]).is_empty(), "one promise is not F+1");
-        let actions = c.on_p1b(S1, 7, accepted);
+        assert!(c.on_p1b_v(S2, 7, &[]).is_empty(), "one promise is not F+1");
+        let actions = c.on_p1b_v(S1, 7, accepted);
         // The adopted batch goes through Phase 2 at ballot 7 — no
         // direct decision off the promises.
         let Action::Broadcast(
@@ -839,8 +921,8 @@ mod tests {
             "adopted batch is prepared"
         );
         // Majority 2b at ballot 7 → the original outcome (commit).
-        c.on_p2b(S1, 7);
-        let done = c.on_p2b(S2, 7);
+        c.on_p2b_v(S1, 7);
+        let done = c.on_p2b_v(S2, 7);
         assert!(matches!(
             done[0],
             Action::Log(LogRecord::Decided {
@@ -853,9 +935,9 @@ mod tests {
     #[test]
     fn recovery_with_nothing_accepted_presumes_abort_via_phase2() {
         let mut c = PaxosLeader::recover(spec(), 3);
-        c.start();
-        c.on_p1b(S1, 3, &[]);
-        let actions = c.on_p1b(S2, 3, &[]);
+        c.start_v();
+        c.on_p1b_v(S1, 3, &[]);
+        let actions = c.on_p1b_v(S2, 3, &[]);
         let Action::Broadcast(_, Msg::PaxosP2a { votes: batch, .. }) = &actions[0] else {
             panic!("expected 2a, got {actions:?}");
         };
@@ -865,8 +947,8 @@ mod tests {
         );
         // The abort still needs a chosen Phase 2 before it is spoken.
         assert_eq!(c.phase(), PaxosPhase::Proposing);
-        c.on_p2b(S1, 3);
-        let done = c.on_p2b(S2, 3);
+        c.on_p2b_v(S1, 3);
+        let done = c.on_p2b_v(S2, 3);
         assert!(matches!(
             done[0],
             Action::Log(LogRecord::Decided {
@@ -879,38 +961,41 @@ mod tests {
     #[test]
     fn stale_ballot_echoes_are_ignored() {
         let mut c = PaxosLeader::recover(spec(), 7);
-        c.start();
-        c.on_p1b(S1, 7, &[]);
-        c.on_p1b(S2, 7, &[]);
-        assert!(c.on_p2b(S1, 0).is_empty(), "2b from ballot 0 is stale");
-        assert!(c.on_p1b(S0, 3, &[]).is_empty(), "1b from ballot 3 is stale");
+        c.start_v();
+        c.on_p1b_v(S1, 7, &[]);
+        c.on_p1b_v(S2, 7, &[]);
+        assert!(c.on_p2b_v(S1, 0).is_empty(), "2b from ballot 0 is stale");
+        assert!(
+            c.on_p1b_v(S0, 3, &[]).is_empty(),
+            "1b from ballot 3 is stale"
+        );
     }
 
     #[test]
     fn weakened_quorum_decides_on_f_acceptances() {
         let mut l = PaxosLeader::new(spec()).with_weakened_quorum();
-        l.start();
+        l.start_v();
         all_yes(&mut l);
         // F = 1 acceptance suffices under the mutation — the bug the
         // model checker must catch.
-        let actions = l.on_p2b(S0, 0);
+        let actions = l.on_p2b_v(S0, 0);
         assert!(matches!(actions[0], Action::Log(LogRecord::Decided { .. })));
     }
 
     #[test]
     fn timers_rebroadcast_current_round() {
         let mut c = PaxosLeader::recover(spec(), 2);
-        c.start();
-        let again = c.on_1b_timer(2);
+        c.start_v();
+        let again = c.on_1b_timer_v(2);
         assert!(matches!(
             again[0],
             Action::Broadcast(_, Msg::PaxosP1a { bal: 2, .. })
         ));
-        assert!(c.on_2b_timer(2).is_empty(), "not proposing yet");
-        c.on_p1b(S1, 2, &[]);
-        c.on_p1b(S2, 2, &[]);
-        assert!(c.on_1b_timer(2).is_empty(), "past recovery");
-        let again = c.on_2b_timer(2);
+        assert!(c.on_2b_timer_v(2).is_empty(), "not proposing yet");
+        c.on_p1b_v(S1, 2, &[]);
+        c.on_p1b_v(S2, 2, &[]);
+        assert!(c.on_1b_timer_v(2).is_empty(), "past recovery");
+        let again = c.on_2b_timer_v(2);
         assert!(matches!(
             again[0],
             Action::Broadcast(_, Msg::PaxosP2a { bal: 2, .. })
@@ -920,8 +1005,8 @@ mod tests {
     #[test]
     fn acceptor_recovery_reinstalls_durable_state() {
         let mut a = PaxosAcceptor::new();
-        a.on_p1a(TxnId(1), 2);
-        a.on_p2a(TxnId(1), 4, &[(S0, true, Version(1))]);
+        a.on_p1a_v(TxnId(1), 2);
+        a.on_p2a_v(TxnId(1), 4, &[(S0, true, Version(1))]);
         let records = vec![
             LogRecord::PaxosPromise {
                 txn: TxnId(1),
@@ -938,7 +1023,7 @@ mod tests {
         assert_eq!(b.promised(), a.promised());
         assert_eq!(b.accepted(), a.accepted());
         // The reborn acceptor still honours the old promise.
-        assert!(b.clone().on_p2a(TxnId(1), 3, &[]).is_empty());
+        assert!(b.clone().on_p2a_v(TxnId(1), 3, &[]).is_empty());
     }
 
     #[test]
@@ -948,14 +1033,14 @@ mod tests {
             ..(*spec()).clone()
         });
         let mut l = PaxosLeader::new(branch);
-        l.start();
+        l.start_v();
         let actions = all_yes(&mut l);
         assert!(matches!(
             actions[0],
             Action::Send(SiteId(42), Msg::XVote { yes: true, .. })
         ));
         assert_eq!(l.phase(), PaxosPhase::Held);
-        let done = l.on_x_decide(Decision::Commit, Some(Version(1)));
+        let done = l.on_x_decide_v(Decision::Commit, Some(Version(1)));
         assert!(matches!(done[1], Action::Broadcast(_, Msg::Commit { .. })));
     }
 }

@@ -96,6 +96,24 @@ pub struct NodeConfig {
     /// stragglers still get their answer. `None` (the default) keeps
     /// every entry forever (the seed behaviour).
     pub retire_after: Option<Duration>,
+    /// Age *retired* outcome records out entirely this long after
+    /// retirement, so the retired maps — and the checkpoint records
+    /// that serialize them — are O(live + horizon) instead of
+    /// O(history). Must comfortably exceed every straggler window
+    /// (watchdog, blocked-retry, re-announce): a straggler asking after
+    /// the horizon finds no answer and escalates to termination, which
+    /// then also finds nothing — so pick a horizon multiple times the
+    /// widest retry period. Only meaningful with
+    /// [`NodeConfig::retire_after`]; `None` (the default) keeps retired
+    /// outcomes forever (the pre-aging behaviour).
+    pub retire_horizon: Option<Duration>,
+    /// Record every local decision transition in a host-drainable event
+    /// queue ([`crate::SiteNode::drain_decision_events`]). Push-style
+    /// front-ends (the reactor runtime) use it to answer client
+    /// sessions the moment their transaction decides, instead of
+    /// polling node state. Off by default: nothing is queued, no
+    /// behaviour changes, and the golden digests are untouched.
+    pub decision_events: bool,
     /// Which WAL backend this site's stable storage runs on.
     pub wal_backend: WalBackendConfig,
     /// Write a [`qbc_core::LogRecord::Checkpoint`] (and truncate the
@@ -172,6 +190,8 @@ impl NodeConfig {
             group_commit_max_batch: 64,
             force_latency: Duration::ZERO,
             retire_after: None,
+            retire_horizon: None,
+            decision_events: false,
             wal_backend: WalBackendConfig::Memory,
             checkpoint_interval: None,
             checkpoint_bytes: None,
@@ -317,6 +337,13 @@ impl NodeConfig {
     /// Sets the decided-state retention window (builder style).
     pub fn with_retirement(mut self, after: Duration) -> Self {
         self.retire_after = Some(after);
+        self
+    }
+
+    /// Sets the retired-outcome aging horizon (builder style; see
+    /// [`NodeConfig::retire_horizon`]).
+    pub fn with_retire_horizon(mut self, horizon: Duration) -> Self {
+        self.retire_horizon = Some(horizon);
         self
     }
 

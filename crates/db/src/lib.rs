@@ -30,4 +30,4 @@ mod node;
 
 pub use config::{NodeConfig, WalBackendConfig};
 pub use envelope::{NetMsg, NodeTimer};
-pub use node::{build_cluster, ReadResult, SiteNode, Violation};
+pub use node::{build_cluster, DecisionEvent, ReadResult, SiteNode, Violation};

@@ -168,6 +168,20 @@ impl XRetired {
     }
 }
 
+/// One local decision transition, recorded for
+/// [`SiteNode::drain_decision_events`] when
+/// [`NodeConfig::decision_events`] is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionEvent {
+    /// Transaction that decided.
+    pub txn: TxnId,
+    /// The outcome.
+    pub decision: Decision,
+    /// Commit version, when the outcome is a commit and this site
+    /// learned the version alongside it.
+    pub commit_version: Option<Version>,
+}
+
 /// A diagnostic violation note recorded by the engines.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
@@ -234,6 +248,10 @@ pub struct SiteNode {
     /// Decisions awaiting retirement, in decision-time order (times are
     /// event times, hence monotonic — a plain queue, no heap needed).
     retire_queue: VecDeque<(Time, TxnId)>,
+    /// Retired outcomes queued for aging out entirely (only with
+    /// [`NodeConfig::retire_horizon`]); retirement-time order, so the
+    /// sweep stops at the first young entry.
+    age_queue: VecDeque<(Time, TxnId)>,
     reads: BTreeMap<u64, ReadCollect>,
     /// Snapshot-read collectors. Kept apart from `reads` (different
     /// resolution machinery) but sharing its request-id space; both
@@ -255,6 +273,15 @@ pub struct SiteNode {
     /// Emptied deferred-op buffers kept for reuse, so the steady-state
     /// group-commit cycle (defer → force → run) allocates nothing.
     spare_deferred: Vec<Vec<DeferredOp>>,
+    /// Emptied engine-action scratch buffers kept for reuse: engines
+    /// push into a caller-supplied buffer, `apply_actions` drains it
+    /// and returns it here, so the steady-state message path allocates
+    /// no `Vec<Action>` per event.
+    spare_actions: Vec<Vec<Action>>,
+    /// Host-drainable record of local decision transitions (only with
+    /// [`NodeConfig::decision_events`]); push-style front-ends drain it
+    /// after every delivery to answer waiting client sessions.
+    decision_events: Vec<DecisionEvent>,
     /// First log record of every *live* transaction — the LSNs a
     /// checkpoint's truncation cutoff must stay below. Entries are
     /// dropped at retirement (the checkpoint record then carries the
@@ -364,6 +391,7 @@ impl SiteNode {
             retired: FastMap::default(),
             xretired: FastMap::default(),
             retire_queue: VecDeque::new(),
+            age_queue: VecDeque::new(),
             reads: BTreeMap::new(),
             snap_reads: BTreeMap::new(),
             violations: Vec::new(),
@@ -374,6 +402,8 @@ impl SiteNode {
             next_force_batch: 0,
             flush_timer: None,
             spare_deferred: Vec::new(),
+            spare_actions: Vec::new(),
+            decision_events: Vec::new(),
             first_lsn: FastMap::default(),
             checkpoint_armed: false,
             last_checkpoint_end: Lsn(0),
@@ -434,6 +464,34 @@ impl SiteNode {
     /// Number of transactions retired to compact outcome records.
     pub fn retired_len(&self) -> usize {
         self.retired.len()
+    }
+
+    /// Number of cross-shard coordinations retired to compact records.
+    pub fn xretired_len(&self) -> usize {
+        self.xretired.len()
+    }
+
+    /// Drains the decision transitions recorded since the last drain
+    /// into `out` (only populated with
+    /// [`NodeConfig::decision_events`]). Front-ends call this after
+    /// every delivery: each event is the moment this site first learned
+    /// a transaction's outcome.
+    pub fn drain_decision_events(&mut self, out: &mut Vec<DecisionEvent>) {
+        out.append(&mut self.decision_events);
+    }
+
+    /// Records a local decision transition for
+    /// [`SiteNode::drain_decision_events`]. Call sites are exactly the
+    /// `st.decided` `None -> Some` assignments, so one event fires per
+    /// transaction per site lifetime.
+    fn note_decision(&mut self, txn: TxnId, decision: Decision, commit_version: Option<Version>) {
+        if self.cfg.decision_events {
+            self.decision_events.push(DecisionEvent {
+                txn,
+                decision,
+                commit_version,
+            });
+        }
     }
 
     /// The top-level decision of a cross-shard transaction coordinated
@@ -652,23 +710,22 @@ impl SiteNode {
         let state = self.ensure_txn(ctx.now(), &spec);
         state.started_at = ctx.now();
         self.emit(ctx.now(), Some(txn), EventKind::Submitted { protocol });
-        let actions = if protocol == ProtocolKind::PaxosCommit {
+        let mut actions = self.take_actions();
+        if protocol == ProtocolKind::PaxosCommit {
             let mut leader = PaxosLeader::new(spec);
             if self.cfg.mutation_weaken_paxos {
                 leader = leader.with_weakened_quorum();
             }
-            let actions = leader.start();
+            leader.start(&mut actions);
             self.txns.get_mut(&txn).expect("just ensured").paxos = Some(leader);
-            actions
         } else {
             let mut coord = Coordinator::new(spec, self.cfg.site_votes.clone());
             if self.cfg.mutation_weaken_qc1 {
                 coord = coord.with_weakened_qc1();
             }
-            let actions = coord.start();
+            coord.start(&mut actions);
             self.txns.get_mut(&txn).expect("just ensured").coordinator = Some(coord);
-            actions
-        };
+        }
         self.apply_actions(ctx, txn, self.cfg.site, actions);
         self.pump(ctx);
     }
@@ -730,7 +787,7 @@ impl SiteNode {
         if st.coordinator.is_some() || st.paxos.is_some() || st.decided.is_some() {
             return; // duplicate request
         }
-        let actions = if spec.protocol == ProtocolKind::PaxosCommit {
+        if spec.protocol == ProtocolKind::PaxosCommit {
             // A Paxos branch behaves like 2PC toward the parent: all
             // yes → held + X-VOTE yes; the parent is the only outcome
             // authority, so no Paxos rounds ever run in-shard.
@@ -738,18 +795,21 @@ impl SiteNode {
             if self.cfg.mutation_weaken_paxos {
                 leader = leader.with_weakened_quorum();
             }
-            let actions = leader.start();
             st.paxos = Some(leader);
-            actions
         } else {
             let mut coord = Coordinator::new(Arc::clone(spec), self.cfg.site_votes.clone());
             if self.cfg.mutation_weaken_qc1 {
                 coord = coord.with_weakened_qc1();
             }
-            let actions = coord.start();
             st.coordinator = Some(coord);
-            actions
-        };
+        }
+        let mut actions = self.take_actions();
+        let st = self.txns.get_mut(&txn).expect("just ensured");
+        if let Some(leader) = st.paxos.as_mut() {
+            leader.start(&mut actions);
+        } else if let Some(coord) = st.coordinator.as_mut() {
+            coord.start(&mut actions);
+        }
         self.apply_actions(ctx, txn, self.cfg.site, actions);
         // A held branch coordinator may be left orphaned by a crashed
         // parent: the watchdog drives its outcome discovery.
@@ -1601,17 +1661,21 @@ impl SiteNode {
         }
         match &m {
             Msg::PaxosP1a { bal, .. } => {
-                let actions = self.acceptors.entry(txn).or_default().on_p1a(txn, *bal);
+                let mut actions = self.take_actions();
+                self.acceptors
+                    .entry(txn)
+                    .or_default()
+                    .on_p1a(txn, *bal, &mut actions);
                 self.apply_actions(ctx, txn, from, actions);
                 self.arm_watchdog(ctx, txn);
                 return;
             }
             Msg::PaxosP2a { bal, votes, .. } => {
-                let actions = self
-                    .acceptors
+                let mut actions = self.take_actions();
+                self.acceptors
                     .entry(txn)
                     .or_default()
-                    .on_p2a(txn, *bal, votes);
+                    .on_p2a(txn, *bal, votes, &mut actions);
                 self.apply_actions(ctx, txn, from, actions);
                 return;
             }
@@ -1661,7 +1725,7 @@ impl SiteNode {
         };
 
         let catalog = Arc::clone(&self.catalog);
-        let mut actions: Vec<Action> = Vec::new();
+        let mut actions = self.take_actions();
         {
             let st = self.txns.get_mut(&txn).expect("checked");
             st.last_coord_contact = ctx.now();
@@ -1670,24 +1734,24 @@ impl SiteNode {
                     yes, max_version, ..
                 } => {
                     if let Some(c) = st.coordinator.as_mut() {
-                        actions = c.on_vote(from, *yes, *max_version, &catalog);
+                        c.on_vote(from, *yes, *max_version, &catalog, &mut actions);
                     } else if let Some(p) = st.paxos.as_mut() {
-                        actions = p.on_vote(from, *yes, *max_version);
+                        p.on_vote(from, *yes, *max_version, &mut actions);
                     }
                 }
                 Msg::PaxosP1b { bal, accepted, .. } => {
                     if let Some(p) = st.paxos.as_mut() {
-                        actions = p.on_p1b(from, *bal, accepted);
+                        p.on_p1b(from, *bal, accepted, &mut actions);
                     }
                 }
                 Msg::PaxosP2b { bal, .. } => {
                     if let Some(p) = st.paxos.as_mut() {
-                        actions = p.on_p2b(from, *bal);
+                        p.on_p2b(from, *bal, &mut actions);
                     }
                 }
                 Msg::PcAck { .. } => {
                     if let Some(c) = st.coordinator.as_mut() {
-                        actions.extend(c.on_pc_ack(from, &catalog));
+                        c.on_pc_ack(from, &catalog, &mut actions);
                     }
                     if let Some(t) = st.termination.as_mut() {
                         actions.extend(t.on_pc_ack(from, &catalog));
@@ -1705,7 +1769,7 @@ impl SiteNode {
                     ..
                 } => {
                     if let Some(t) = st.termination.as_mut() {
-                        actions = t.on_state_rep(from, *round, *state, *pc_version, &catalog);
+                        actions.extend(t.on_state_rep(from, *round, *state, *pc_version, &catalog));
                     }
                 }
                 Msg::Decided {
@@ -1723,7 +1787,8 @@ impl SiteNode {
                         // must stop re-broadcasting its round.
                         p.adopt_decision(*decision, *commit_version);
                     }
-                    actions.extend(st.participant.on_msg(from, &m, local_max_version));
+                    st.participant
+                        .on_msg(from, &m, local_max_version, &mut actions);
                 }
                 // Participant-role messages.
                 Msg::VoteReq { .. }
@@ -1732,7 +1797,8 @@ impl SiteNode {
                 | Msg::Commit { .. }
                 | Msg::Abort { .. }
                 | Msg::StateReq { .. } => {
-                    actions = st.participant.on_msg(from, &m, local_max_version);
+                    st.participant
+                        .on_msg(from, &m, local_max_version, &mut actions);
                 }
                 // Cross-shard and Paxos acceptor messages returned
                 // early above.
@@ -1769,15 +1835,18 @@ impl SiteNode {
             Participant(Vec<Action>),
             Ignore,
         }
+        let mut scratch = self.take_actions();
         let route = match self.txns.get_mut(&txn) {
             None => Route::Ignore, // unknown or retired: nothing held here
             Some(st) if st.decided.is_some() => Route::Ignore,
             Some(st) => {
                 st.last_coord_contact = ctx.now();
                 if let Some(c) = st.coordinator.as_mut() {
-                    Route::Engine(c.on_x_decide(decision, commit_version))
+                    c.on_x_decide(decision, commit_version, &mut scratch);
+                    Route::Engine(std::mem::take(&mut scratch))
                 } else if let Some(p) = st.paxos.as_mut() {
-                    Route::Engine(p.on_x_decide(decision, commit_version))
+                    p.on_x_decide(decision, commit_version, &mut scratch);
+                    Route::Engine(std::mem::take(&mut scratch))
                 } else if st.spec.coordinator == site {
                     // The parent's echo carries the branch version; a
                     // sibling's answer does not — fall back to the
@@ -1800,13 +1869,16 @@ impl SiteNode {
                     };
                     match msg {
                         Some(m) if st.participant.state() != LocalState::Initial => {
-                            Route::Participant(st.participant.on_msg(from, &m, Version::INITIAL))
+                            st.participant
+                                .on_msg(from, &m, Version::INITIAL, &mut scratch);
+                            Route::Participant(std::mem::take(&mut scratch))
                         }
                         _ => Route::Ignore,
                     }
                 }
             }
         };
+        self.recycle_actions(scratch);
         match route {
             Route::Ignore => {}
             Route::Engine(actions) | Route::Participant(actions) => {
@@ -1838,9 +1910,13 @@ impl SiteNode {
                 }
                 if !spec.participants.contains(&site) {
                     if let Some(st) = self.txns.get_mut(&txn) {
+                        let fresh = st.decided.is_none();
                         st.decided = Some(decision);
                         st.decided_at = Some(ctx.now());
                         st.decided_version = version;
+                        if fresh {
+                            self.note_decision(txn, decision, version);
+                        }
                     }
                     self.schedule_retire(ctx.now(), txn);
                 }
@@ -1865,9 +1941,11 @@ impl SiteNode {
                     },
                 };
                 if let Some(d) = decided {
+                    let version = st.decided_version;
                     st.decided = Some(d);
                     st.decided_at = Some(now);
                     self.schedule_retire(now, txn);
+                    self.note_decision(txn, d, version);
                 }
             }
         }
@@ -1897,6 +1975,7 @@ impl SiteNode {
                 break;
             }
             self.retire_queue.pop_front();
+            let mut retired_any = false;
             if let Some(st) = self.txns.get(&txn) {
                 if let (Some(decision), Some(decided_at)) = (st.decided, st.decided_at) {
                     let commit_version = st.commit_version();
@@ -1909,6 +1988,7 @@ impl SiteNode {
                         },
                     );
                     self.txns.remove(&txn);
+                    retired_any = true;
                 }
             }
             if let Some(x) = self.xcoords.get(&txn) {
@@ -1922,6 +2002,7 @@ impl SiteNode {
                         .collect();
                     self.xretired.insert(txn, XRetired { decision, branches });
                     self.xcoords.remove(&txn);
+                    retired_any = true;
                 }
             }
             // The acceptor's promise/accept state is only needed while
@@ -1935,6 +2016,30 @@ impl SiteNode {
             if !self.txns.contains_key(&txn) && !self.xcoords.contains_key(&txn) {
                 self.first_lsn.remove(&txn);
             }
+            if retired_any && self.cfg.retire_horizon.is_some() {
+                self.age_queue.push_back((now, txn));
+            }
+        }
+        self.sweep_aged(now);
+    }
+
+    /// Ages retired outcomes out entirely once they have sat in the
+    /// compact maps for [`NodeConfig::retire_horizon`]: the maps — and
+    /// every checkpoint record serializing them — stay O(live +
+    /// horizon) instead of O(history). A straggler asking after the
+    /// horizon gets silence instead of the outcome, which is why the
+    /// horizon must dwarf every retry window (see the config doc).
+    fn sweep_aged(&mut self, now: Time) {
+        let Some(horizon) = self.cfg.retire_horizon else {
+            return;
+        };
+        while let Some(&(t, txn)) = self.age_queue.front() {
+            if now.since(t) < horizon {
+                break;
+            }
+            self.age_queue.pop_front();
+            self.retired.remove(&txn);
+            self.xretired.remove(&txn);
         }
     }
 
@@ -1972,14 +2077,21 @@ impl SiteNode {
         true
     }
 
+    /// Consumes a filled action buffer (typically from [`take_actions`])
+    /// and recycles it into the spare pool, so the steady-state message
+    /// path allocates no `Vec<Action>` per event. Reentrancy
+    /// (`RequestTermination` → election → nested `apply_actions`) is
+    /// safe: each level pops its own buffer from the pool.
+    ///
+    /// [`take_actions`]: SiteNode::take_actions
     fn apply_actions(
         &mut self,
         ctx: &mut Ctx<'_, NetMsg, NodeTimer>,
         txn: TxnId,
         reply_to: SiteId,
-        actions: Vec<Action>,
+        mut actions: Vec<Action>,
     ) {
-        for a in actions {
+        for a in actions.drain(..) {
             self.obs_action(ctx.now(), txn, &a);
             match a {
                 Action::Reply(m) => self.send_net(ctx, reply_to, NetMsg::Proto(m)),
@@ -2062,6 +2174,22 @@ impl SiteNode {
                 }
             }
         }
+        self.recycle_actions(actions);
+    }
+
+    /// Pops a spare engine-action scratch buffer (empty, capacity
+    /// retained from earlier events) or allocates the pool's first.
+    fn take_actions(&mut self) -> Vec<Action> {
+        self.spare_actions.pop().unwrap_or_default()
+    }
+
+    /// Returns an emptied action buffer to the pool (bounded, so a
+    /// one-off burst does not pin memory forever).
+    fn recycle_actions(&mut self, buf: Vec<Action>) {
+        debug_assert!(buf.is_empty());
+        if buf.capacity() > 0 && self.spare_actions.len() < 4 {
+            self.spare_actions.push(buf);
+        }
     }
 
     fn apply_decision(
@@ -2096,6 +2224,7 @@ impl SiteNode {
                 }
             }
             self.schedule_retire(now, txn);
+            self.note_decision(txn, decision, commit_version);
         }
         // Pin-time clocks stop with the release; the walk over held
         // locks is skipped entirely when no sink is wired.
@@ -2192,8 +2321,13 @@ impl SiteNode {
             if self.cfg.mutation_weaken_paxos {
                 candidate = candidate.with_weakened_quorum();
             }
-            let actions = candidate.start();
             st.paxos = Some(candidate);
+            let mut actions = self.take_actions();
+            let st = self.txns.get_mut(&txn).expect("still live");
+            st.paxos
+                .as_mut()
+                .expect("just installed")
+                .start(&mut actions);
             self.apply_actions(ctx, txn, self.cfg.site, actions);
             return;
         }
@@ -2299,8 +2433,12 @@ impl SiteNode {
         // into the round's view — a veto, which must be durable and
         // irrevocable before the round runs (see
         // `Participant::veto_abort`).
-        let veto = st.participant.veto_abort();
-        if !veto.is_empty() {
+        let mut veto = self.take_actions();
+        let st = self.txns.get_mut(&txn).expect("checked above");
+        st.participant.veto_abort(&mut veto);
+        if veto.is_empty() {
+            self.recycle_actions(veto);
+        } else {
             self.apply_actions(ctx, txn, self.cfg.site, veto);
         }
         let Some(st) = self.txns.get_mut(&txn) else {
@@ -2350,14 +2488,14 @@ impl Process for SiteNode {
         match timer {
             NodeTimer::Proto(kind) => match kind {
                 TimerKind::VoteCollection { txn } => {
-                    let actions = self
-                        .txns
-                        .get_mut(&txn)
-                        .and_then(|st| match st.coordinator.as_mut() {
-                            Some(c) => Some(c.on_vote_timer()),
-                            None => st.paxos.as_mut().map(|p| p.on_vote_timer()),
-                        })
-                        .unwrap_or_default();
+                    let mut actions = self.take_actions();
+                    if let Some(st) = self.txns.get_mut(&txn) {
+                        if let Some(c) = st.coordinator.as_mut() {
+                            c.on_vote_timer(&mut actions);
+                        } else if let Some(p) = st.paxos.as_mut() {
+                            p.on_vote_timer(&mut actions);
+                        }
+                    }
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                     self.adopt_coordinator_decision(ctx.now(), txn);
                 }
@@ -2365,32 +2503,38 @@ impl Process for SiteNode {
                     // Guarded on the undecided state: a leader stuck in
                     // `Proposing` after a higher-ballot candidate already
                     // decided would otherwise re-broadcast forever.
-                    let actions = self
+                    let mut actions = self.take_actions();
+                    if let Some(p) = self
                         .txns
                         .get_mut(&txn)
                         .filter(|st| st.decided.is_none())
                         .and_then(|st| st.paxos.as_mut())
-                        .map(|p| p.on_1b_timer(bal))
-                        .unwrap_or_default();
+                    {
+                        p.on_1b_timer(bal, &mut actions);
+                    }
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                 }
                 TimerKind::Paxos2bCollection { txn, bal } => {
-                    let actions = self
+                    let mut actions = self.take_actions();
+                    if let Some(p) = self
                         .txns
                         .get_mut(&txn)
                         .filter(|st| st.decided.is_none())
                         .and_then(|st| st.paxos.as_mut())
-                        .map(|p| p.on_2b_timer(bal))
-                        .unwrap_or_default();
+                    {
+                        p.on_2b_timer(bal, &mut actions);
+                    }
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                 }
                 TimerKind::AckCollection { txn } => {
-                    let actions = self
+                    let mut actions = self.take_actions();
+                    if let Some(c) = self
                         .txns
                         .get_mut(&txn)
                         .and_then(|st| st.coordinator.as_mut())
-                        .map(|c| c.on_ack_timer(&catalog))
-                        .unwrap_or_default();
+                    {
+                        c.on_ack_timer(&catalog, &mut actions);
+                    }
                     self.apply_actions(ctx, txn, self.cfg.site, actions);
                     self.adopt_coordinator_decision(ctx.now(), txn);
                 }
@@ -2490,6 +2634,8 @@ impl Process for SiteNode {
         self.retired.clear();
         self.xretired.clear();
         self.retire_queue.clear();
+        self.age_queue.clear();
+        self.decision_events.clear();
         self.reads.clear();
         self.snap_reads.clear();
         self.locks = LockManager::new();
@@ -2544,8 +2690,17 @@ impl Process for SiteNode {
                     decided_at: ctx.now(),
                 },
             );
+            // Re-enter the aging pipeline with a fresh clock: the
+            // recovered site grants stragglers a full horizon again
+            // rather than guessing how much had already elapsed.
+            if self.cfg.retire_horizon.is_some() {
+                self.age_queue.push_back((ctx.now(), o.txn));
+            }
         }
         for o in ck_xretired {
+            if self.cfg.retire_horizon.is_some() && !self.retired.contains_key(&o.txn) {
+                self.age_queue.push_back((ctx.now(), o.txn));
+            }
             self.xretired.insert(
                 o.txn,
                 XRetired {
@@ -2715,16 +2870,17 @@ impl Process for SiteNode {
                     );
                     if is_participant {
                         // Terminate the local participant too.
-                        let actions = self
-                            .txns
+                        let mut actions = self.take_actions();
+                        self.txns
                             .get_mut(&txn)
                             .expect("present")
                             .participant
-                            .on_msg(site, &Msg::Abort { txn }, Version::INITIAL);
+                            .on_msg(site, &Msg::Abort { txn }, Version::INITIAL, &mut actions);
                         self.apply_actions(ctx, txn, site, actions);
                     } else if let Some(st) = self.txns.get_mut(&txn) {
                         st.decided = Some(Decision::Abort);
                         st.decided_at = Some(ctx.now());
+                        self.note_decision(txn, Decision::Abort, None);
                     }
                     for to in targets {
                         self.send_net(ctx, to, NetMsg::Proto(Msg::Abort { txn }));
@@ -2799,31 +2955,35 @@ impl SiteNode {
         let now = ctx.now();
         let watchdog = self.cfg.watchdog_3t();
         let site = self.cfg.site;
-        let (expired, actions, orphan_discovery) = match self.txns.get_mut(&txn) {
-            None => return,
-            Some(st) => {
-                st.watchdog_armed = false;
-                if st.decided.is_some() {
-                    return;
-                }
-                if now.since(st.last_coord_contact) >= watchdog {
-                    let actions = st.participant.on_coordinator_silent();
-                    // A held branch coordinator that holds no copies has
-                    // a participant still in `q` (which stays quiet):
-                    // it must still discover the cross-shard outcome —
-                    // from the parent, and cooperatively from sibling
-                    // branch coordinators.
-                    let discovery = if actions.is_empty() && st.spec.coordinator == site {
-                        st.spec
-                            .parent
-                            .map(|p| discovery_targets(p, &st.x_siblings, site))
-                    } else {
-                        None
-                    };
-                    (true, actions, discovery)
+        {
+            let Some(st) = self.txns.get_mut(&txn) else {
+                return;
+            };
+            st.watchdog_armed = false;
+            if st.decided.is_some() {
+                return;
+            }
+        }
+        let mut actions = self.take_actions();
+        let (expired, orphan_discovery) = {
+            let st = self.txns.get_mut(&txn).expect("checked above");
+            if now.since(st.last_coord_contact) >= watchdog {
+                st.participant.on_coordinator_silent(&mut actions);
+                // A held branch coordinator that holds no copies has
+                // a participant still in `q` (which stays quiet):
+                // it must still discover the cross-shard outcome —
+                // from the parent, and cooperatively from sibling
+                // branch coordinators.
+                let discovery = if actions.is_empty() && st.spec.coordinator == site {
+                    st.spec
+                        .parent
+                        .map(|p| discovery_targets(p, &st.x_siblings, site))
                 } else {
-                    (false, Vec::new(), None)
-                }
+                    None
+                };
+                (true, discovery)
+            } else {
+                (false, None)
             }
         };
         if expired {
@@ -2834,6 +2994,8 @@ impl SiteNode {
                 self.emit(now, Some(txn), EventKind::OutcomeDiscoveryOut);
             }
             self.apply_actions(ctx, txn, self.cfg.site, actions);
+        } else {
+            self.recycle_actions(actions);
         }
         // Re-arm while undecided (drives the re-entrant retry loop).
         self.arm_watchdog(ctx, txn);

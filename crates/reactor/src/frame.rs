@@ -1,0 +1,260 @@
+//! Length-prefixed nonblocking socket framing with write backpressure.
+//!
+//! Wire format: `[len: u32 LE][payload: len bytes]`, `len` capped at
+//! [`MAX_FRAME`] so a corrupt or hostile peer cannot make the reader
+//! buffer unbounded garbage.
+//!
+//! Both halves are plain buffers around a nonblocking stream:
+//!
+//! * [`FrameReader`] pulls whatever the socket has (`WouldBlock` ends
+//!   the slurp), then yields complete frames zero-copy via
+//!   [`FrameReader::next_frame`].
+//! * [`FrameWriter`] queues frames and flushes opportunistically;
+//!   [`FrameWriter::queued`] is the backpressure signal — when it
+//!   crosses the owner's high-water mark the owner stops *reading* from
+//!   the connection's peer (stops accepting new work) until the buffer
+//!   drains, so one slow consumer never wedges the reactor.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload (1 MiB — an order of magnitude above
+/// anything the client protocol produces).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// What a read slurp observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadState {
+    /// Socket open, everything currently available was buffered.
+    Open,
+    /// Peer closed (EOF) — drain remaining frames, then drop the
+    /// connection.
+    Closed,
+}
+
+/// Inbound half: buffers socket bytes, yields complete frames.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted lazily so steady streaming does not
+    /// memmove per frame.
+    start: usize,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reads everything currently available from the nonblocking
+    /// `stream` into the buffer. Returns the stream state; a real IO
+    /// error propagates (the connection is unusable).
+    pub fn fill(&mut self, mut stream: impl Read) -> io::Result<ReadState> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadState::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadState::Open),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The next complete frame, if one is buffered. An oversized length
+    /// prefix is a protocol violation reported as an error; the owner
+    /// drops the connection.
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        self.compact();
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            ));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let begin = self.start + 4;
+        self.start = begin + len;
+        Ok(Some(&self.buf[begin..begin + len]))
+    }
+
+    /// Bytes buffered but not yet yielded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Outbound half: queues frames, flushes without blocking.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    /// Flushed prefix (same lazy compaction as the reader).
+    start: usize,
+}
+
+impl FrameWriter {
+    /// A writer with an empty queue.
+    pub fn new() -> FrameWriter {
+        FrameWriter::default()
+    }
+
+    /// Queues one frame.
+    pub fn push(&mut self, payload: &[u8]) {
+        assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Writes as much queued data as the nonblocking `stream` accepts.
+    /// Returns `true` when the queue is fully drained.
+    pub fn flush(&mut self, mut stream: impl Write) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match stream.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(self.buf.is_empty())
+    }
+
+    /// Bytes queued and not yet written — the backpressure signal.
+    pub fn queued(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An `io::Read`/`io::Write` stub that transfers at most `cap`
+    /// bytes per call and then reports `WouldBlock`, like a socket with
+    /// a tiny kernel buffer.
+    struct Chokepoint {
+        data: Vec<u8>,
+        cap: usize,
+        pos: usize,
+    }
+
+    impl Read for Chokepoint {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dry"));
+            }
+            let n = buf.len().min(self.cap).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for Chokepoint {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.pos >= self.cap {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.cap - self.pos);
+            self.data.extend_from_slice(&buf[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_fragmentation() {
+        let mut w = FrameWriter::new();
+        w.push(b"alpha");
+        w.push(b"");
+        w.push(&[7u8; 300]);
+        let mut wire = Chokepoint {
+            data: Vec::new(),
+            cap: usize::MAX,
+            pos: 0,
+        };
+        assert!(w.flush(&mut wire).unwrap());
+
+        // Deliver the byte stream 3 bytes at a time.
+        let mut r = FrameReader::new();
+        let mut src = Chokepoint {
+            data: wire.data,
+            cap: 3,
+            pos: 0,
+        };
+        assert_eq!(r.fill(&mut src).unwrap(), ReadState::Open);
+        let mut got = Vec::new();
+        while let Some(f) = r.next_frame().unwrap() {
+            got.push(f.to_vec());
+        }
+        assert_eq!(got, vec![b"alpha".to_vec(), Vec::new(), vec![7u8; 300]]);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn writer_reports_backpressure_and_resumes() {
+        let mut w = FrameWriter::new();
+        w.push(&[1u8; 100]);
+        let mut wire = Chokepoint {
+            data: Vec::new(),
+            cap: 10,
+            pos: 0,
+        };
+        assert!(!w.flush(&mut wire).unwrap(), "choked after 10 bytes");
+        assert_eq!(w.queued(), 104 - 10);
+        // The "socket" drains; flushing finishes.
+        wire.cap = usize::MAX;
+        assert!(w.flush(&mut wire).unwrap());
+        assert_eq!(w.queued(), 0);
+        assert_eq!(wire.data.len(), 104);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut r = FrameReader::new();
+        let mut src = Chokepoint {
+            data: ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec(),
+            cap: usize::MAX,
+            pos: 0,
+        };
+        r.fill(&mut src).unwrap();
+        assert!(r.next_frame().is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-thread wakeup for a blocked poller.
+//!
+//! Each reactor worker parks in [`crate::poller::Poller::wait`]; anyone
+//! handing it work (another worker's mail, a client submission, the
+//! shutdown flag) must be able to interrupt that wait. A [`WakeFd`] is
+//! a descriptor registered with the worker's poller whose sole job is
+//! becoming readable on demand: `eventfd` on Linux (one fd, one
+//! counter), a nonblocking pipe elsewhere.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// A level-triggered doorbell usable from any thread.
+#[derive(Debug)]
+pub struct WakeFd {
+    read_fd: RawFd,
+    #[cfg(not(target_os = "linux"))]
+    write_fd: RawFd,
+}
+
+// The fds are used raw and never reborrowed as Rust IO objects;
+// concurrent `write(2)` (wake) and `read(2)` (drain) are exactly what
+// eventfd/pipes are specified for.
+unsafe impl Send for WakeFd {}
+unsafe impl Sync for WakeFd {}
+
+impl WakeFd {
+    /// Opens the doorbell.
+    pub fn new() -> io::Result<WakeFd> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(WakeFd {
+                read_fd: sys::sys_eventfd()?,
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            compile_error!("WakeFd: add a pipe-based fallback for this platform");
+        }
+    }
+
+    /// The descriptor to register for read interest.
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Rings the doorbell. Safe from any thread; a full counter/pipe
+    /// (EAGAIN) already guarantees the sleeper will wake, so it is not
+    /// an error.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        #[cfg(target_os = "linux")]
+        let fd = self.read_fd;
+        #[cfg(not(target_os = "linux"))]
+        let fd = self.write_fd;
+        let _ = sys::sys_write(fd, &one);
+    }
+
+    /// Drains pending wakeups so the fd stops polling readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while let Ok(n) = sys::sys_read(self.read_fd, &mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        sys::sys_close(self.read_fd);
+        #[cfg(not(target_os = "linux"))]
+        sys::sys_close(self.write_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Interest, Poller, PollerKind, Token};
+
+    #[test]
+    fn wakes_a_parked_poller_from_another_thread() {
+        let wake = std::sync::Arc::new(WakeFd::new().unwrap());
+        let mut p = Poller::new(PollerKind::default()).unwrap();
+        p.register(wake.fd(), Token(0), Interest::READ).unwrap();
+
+        let remote = std::sync::Arc::clone(&wake);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            remote.wake();
+        });
+
+        let mut events = Vec::new();
+        // Generous timeout: the wake must arrive long before it.
+        let n = p.wait(&mut events, Some(5_000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable);
+        wake.drain();
+        assert_eq!(p.wait(&mut events, Some(0)).unwrap(), 0, "drained");
+        t.join().unwrap();
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod driver;
 mod fasthash;
 pub mod host;
 mod ids;
@@ -63,6 +64,7 @@ mod time;
 mod topology;
 mod trace;
 
+pub use driver::NodeDriver;
 pub use fasthash::{FastBuildHasher, FastHasher, FastMap};
 pub use host::{Choice, ControlledHost, Fingerprint, FirePolicy, HostConfig};
 pub use ids::{sites, SiteId, TimerId};

@@ -86,6 +86,7 @@ fn the_docs_tree_is_complete() {
         "testing.md",
         "observability.md",
         "model-checking.md",
+        "async-runtime.md",
     ] {
         let path = docs.join(page);
         let text = std::fs::read_to_string(&path)
@@ -122,13 +123,20 @@ fn docs_references_to_code_paths_exist() {
         "crates/bench/src/bin/e15_file_wal.rs",
         "crates/bench/src/bin/e16_protocol_metrics.rs",
         "crates/bench/src/bin/e17_read_availability.rs",
+        "crates/bench/src/bin/e18_open_loop.rs",
         "crates/cluster/tests/snapshot_reads.rs",
         "crates/db/tests/read_tables.rs",
+        "crates/reactor/src/poller.rs",
+        "crates/reactor/src/frame.rs",
+        "crates/reactor/src/wire.rs",
+        "crates/cluster/tests/reactor.rs",
+        "crates/harness/src/open_loop.rs",
         "BENCH_e14.json",
         "BENCH_e15.json",
         "BENCH_e16.json",
         "BENCH_e16_flightdump.txt",
         "BENCH_e17.json",
+        "BENCH_e18.json",
     ] {
         assert!(
             root.join(rel).exists(),
